@@ -1,0 +1,39 @@
+// Shared helpers for the per-table / per-figure benchmark binaries.
+// Every binary first prints its paper-reproduction report (the rows or
+// series the paper reports, next to our computed values), then runs the
+// google-benchmark timings of the underlying kernels.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/support/table.hpp"
+
+namespace leak::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Print a table and optionally dump it as CSV (LEAK_BENCH_CSV=1).
+inline void emit(const Table& table, const std::string& csv_name) {
+  std::printf("%s", table.to_string().c_str());
+  if (table.maybe_write_csv(csv_name)) {
+    std::printf("(wrote %s)\n", csv_name.c_str());
+  }
+}
+
+/// Standard main: report first, then benchmark timings.
+#define LEAK_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                      \
+    report_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }
+
+}  // namespace leak::bench

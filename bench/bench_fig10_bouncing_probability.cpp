@@ -1,0 +1,103 @@
+// Figure 10 — probability that the Byzantine stake proportion exceeds
+// 1/3 during the probabilistic bouncing attack (Eq 24), for beta0 in
+// {1/3, 0.3333, 0.333, 0.33, 0.329, 0.3}, p0 = 0.5, with the Byzantine
+// ejection at epoch 7653; cross-validated with Monte Carlo and the
+// attack-continuation probability bound.
+#include "bench/bench_common.hpp"
+
+#include "src/analytic/stake_model.hpp"
+#include "src/bouncing/distribution.hpp"
+#include "src/bouncing/markov.hpp"
+#include "src/bouncing/montecarlo.hpp"
+
+namespace {
+
+using namespace leak;
+
+void report() {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  bouncing::StakeLaw law(0.5, cfg);
+  const double betas[] = {1.0 / 3.0, 0.3333, 0.333, 0.33, 0.329, 0.3};
+
+  bench::print_header(
+      "Figure 10: P[beta > 1/3] vs epoch (Eq 24, p0=0.5, one branch)");
+  Table t({"epoch", "b0=1/3", "b0=0.3333", "b0=0.333", "b0=0.33",
+           "b0=0.329", "b0=0.3"});
+  for (std::size_t e = 500; e <= 7500; e += 500) {
+    std::vector<std::string> row{std::to_string(e)};
+    for (const double b0 : betas) {
+      row.push_back(Table::fmt(
+          bouncing::prob_beta_exceeds_third(static_cast<double>(e), b0,
+                                            law, cfg), 4));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t, "fig10.csv");
+  std::printf("Byzantine (semi-active) ejection epoch: %.0f\n",
+              analytic::ejection_epoch(analytic::Behavior::kSemiActive,
+                                       cfg));
+
+  bench::print_header("Monte Carlo cross-check (exact discrete dynamics)");
+  Table v({"beta0", "epoch", "Eq 24", "Monte Carlo"});
+  for (const double b0 : {1.0 / 3.0, 0.333, 0.33}) {
+    bouncing::McConfig mc;
+    mc.beta0 = b0;
+    mc.paths = 3000;
+    mc.epochs = 6000;
+    mc.seed = 7;
+    const auto r = bouncing::run_bouncing_mc(mc, {3000, 6000});
+    for (std::size_t k = 0; k < r.epochs.size(); ++k) {
+      v.add_row({Table::fmt(b0, 4), std::to_string(r.epochs[k]),
+                 Table::fmt(bouncing::prob_beta_exceeds_third(
+                                static_cast<double>(r.epochs[k]), b0, law,
+                                cfg), 4),
+                 Table::fmt(r.prob_beta_exceeds[k], 4)});
+    }
+  }
+  bench::emit(v, "fig10_mc.csv");
+
+  bench::print_header(
+      "Attack-continuation probability (1-(1-b0)^j)^k (Section 5.3)");
+  Table c({"beta0", "j", "k", "probability"});
+  c.add_row({"1/3", "8", "7000",
+             Table::fmt(std::log10(bouncing::continuation_probability(
+                            1.0 / 3.0, 8, 7000)), 1) +
+                 " (log10)"});
+  c.add_row({"1/3", "8", "100",
+             Table::fmt(bouncing::continuation_probability(1.0 / 3.0, 8,
+                                                           100), 4)});
+  c.add_row({"0.3", "8", "100",
+             Table::fmt(bouncing::continuation_probability(0.3, 8, 100),
+                        4)});
+  bench::emit(c, "fig10_continuation.csv");
+}
+
+void BM_Eq24Point(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  bouncing::StakeLaw law(0.5, cfg);
+  double t = 100.0;
+  for (auto _ : state) {
+    t = t >= 7000.0 ? 100.0 : t + 1.0;
+    benchmark::DoNotOptimize(
+        bouncing::prob_beta_exceeds_third(t, 0.33, law, cfg));
+  }
+}
+BENCHMARK(BM_Eq24Point);
+
+void BM_Fig10FullGrid(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  bouncing::StakeLaw law(0.5, cfg);
+  for (auto _ : state) {
+    for (std::size_t e = 100; e <= 7500; e += 100) {
+      for (const double b0 : {1.0 / 3.0, 0.333, 0.33, 0.3}) {
+        benchmark::DoNotOptimize(bouncing::prob_beta_exceeds_third(
+            static_cast<double>(e), b0, law, cfg));
+      }
+    }
+  }
+}
+BENCHMARK(BM_Fig10FullGrid)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

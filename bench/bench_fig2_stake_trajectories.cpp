@@ -1,0 +1,96 @@
+// Figure 2 — stake trajectories of active / semi-active / inactive
+// validators during an inactivity leak, with ejection markers
+// (paper: inactive ejected at 4685, semi-active at 7652).
+#include "bench/bench_common.hpp"
+
+#include "src/analytic/stake_model.hpp"
+#include "src/chain/registry.hpp"
+#include "src/penalties/inactivity.hpp"
+
+namespace {
+
+using namespace leak;
+
+void report() {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  bench::print_header("Figure 2: stake trajectories during the leak (ETH)");
+  Table t({"epoch", "active", "semi-active", "inactive",
+           "semi (discrete)", "inactive (discrete)"});
+  const auto semi_d =
+      analytic::simulate_discrete(analytic::Behavior::kSemiActive, 8000, cfg);
+  const auto inact_d =
+      analytic::simulate_discrete(analytic::Behavior::kInactive, 8000, cfg);
+  for (std::size_t e = 0; e <= 8000; e += 500) {
+    const double te = static_cast<double>(e);
+    const auto cell = [&](const analytic::DiscreteTrajectory& d) {
+      const bool gone =
+          d.ejection_epoch >= 0 &&
+          static_cast<std::int64_t>(e) >= d.ejection_epoch;
+      return gone ? std::string("ejected") : Table::fmt(d.stake[e], 3);
+    };
+    t.add_row({std::to_string(e),
+               Table::fmt(analytic::stake_with_ejection(
+                              analytic::Behavior::kActive, te, cfg), 3),
+               Table::fmt(analytic::stake_with_ejection(
+                              analytic::Behavior::kSemiActive, te, cfg), 3),
+               Table::fmt(analytic::stake_with_ejection(
+                              analytic::Behavior::kInactive, te, cfg), 3),
+               cell(semi_d), cell(inact_d)});
+  }
+  bench::emit(t, "fig2.csv");
+
+  Table m({"quantity", "paper", "computed (paper cfg)",
+           "computed (stated 16.75)"});
+  const auto stated = analytic::AnalyticConfig::stated();
+  m.add_row({"inactive ejection epoch", "4685",
+             Table::fmt(analytic::ejection_epoch(
+                            analytic::Behavior::kInactive, cfg), 1),
+             Table::fmt(analytic::ejection_epoch(
+                            analytic::Behavior::kInactive, stated), 1)});
+  m.add_row({"semi-active ejection epoch", "7652",
+             Table::fmt(analytic::ejection_epoch(
+                            analytic::Behavior::kSemiActive, cfg), 1),
+             Table::fmt(analytic::ejection_epoch(
+                            analytic::Behavior::kSemiActive, stated), 1)});
+  bench::emit(m, "fig2_ejections.csv");
+}
+
+void BM_ClosedFormStake(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(
+        analytic::stake(analytic::Behavior::kInactive, t, cfg));
+  }
+}
+BENCHMARK(BM_ClosedFormStake);
+
+void BM_DiscreteTrajectory(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::simulate_discrete(
+        analytic::Behavior::kInactive,
+        static_cast<std::size_t>(state.range(0)), cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiscreteTrajectory)->Arg(1000)->Arg(8000);
+
+void BM_RegistryLeakEpoch(benchmark::State& state) {
+  // Cost of one full penalty-engine epoch over a large registry.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  chain::ValidatorRegistry reg(n);
+  penalties::InactivityTracker tracker(reg, penalties::SpecConfig::paper());
+  const std::vector<bool> active(n, false);
+  std::uint64_t epoch = 5;
+  for (auto _ : state) {
+    tracker.process_epoch(Epoch{epoch++}, Epoch{0}, active);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RegistryLeakEpoch)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

@@ -1,0 +1,80 @@
+// Figure 3 — evolution of the ratio of active validators for p0 in
+// {0.2 .. 0.6}: Eq 5 series with the ejection jump at 4685, plus the
+// discrete-protocol simulator's measured ratio for cross-validation.
+#include "bench/bench_common.hpp"
+
+#include "src/analytic/ratio_model.hpp"
+#include "src/analytic/solvers.hpp"
+#include "src/sim/partition_sim.hpp"
+
+namespace {
+
+using namespace leak;
+
+void report() {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  bench::print_header(
+      "Figure 3: ratio of active validators vs epochs since leak (Eq 5)");
+  const double p0s[] = {0.6, 0.5, 0.4, 0.3, 0.2};
+  Table t({"epoch", "p0=0.6", "p0=0.5", "p0=0.4", "p0=0.3", "p0=0.2"});
+  for (std::size_t e = 0; e <= 8000; e += 400) {
+    std::vector<std::string> row{std::to_string(e)};
+    for (const double p0 : p0s) {
+      row.push_back(
+          Table::fmt(analytic::active_ratio_honest(
+                         static_cast<double>(e), p0, cfg), 4));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t, "fig3.csv");
+
+  bench::print_header("Crossing epochs of the 2/3 threshold");
+  Table c({"p0", "closed form (Eq 6)", "sim (16.75 ETH)"});
+  for (const double p0 : p0s) {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = 1000;
+    sc.p0 = p0;
+    sc.strategy = sim::Strategy::kNone;
+    sc.max_epochs = 6000;
+    const auto r = sim::run_partition_sim(sc);
+    c.add_row({Table::fmt(p0, 1),
+               Table::fmt(analytic::time_to_supermajority_honest(p0, cfg), 1),
+               std::to_string(r.branch[0].supermajority_epoch)});
+  }
+  bench::emit(c, "fig3_crossings.csv");
+}
+
+void BM_ActiveRatio(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.5;
+    benchmark::DoNotOptimize(analytic::active_ratio_honest(t, 0.4, cfg));
+  }
+}
+BENCHMARK(BM_ActiveRatio);
+
+void BM_Eq6Solve(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analytic::time_to_supermajority_honest(0.55, cfg));
+  }
+}
+BENCHMARK(BM_Eq6Solve);
+
+void BM_PartitionSimHonest(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = static_cast<std::uint32_t>(state.range(0));
+    sc.strategy = sim::Strategy::kNone;
+    sc.max_epochs = 5000;
+    benchmark::DoNotOptimize(sim::run_partition_sim(sc));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5000);
+}
+BENCHMARK(BM_PartitionSimHonest)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

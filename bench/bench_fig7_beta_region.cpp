@@ -1,0 +1,74 @@
+// Figure 7 — the (p0, beta0) region where the Byzantine proportion can
+// exceed 1/3 on both branches: the mirrored frontier curves and the
+// global optimum (0.5, 0.2421).
+#include "bench/bench_common.hpp"
+
+#include "src/analytic/solvers.hpp"
+#include "src/sim/partition_sim.hpp"
+#include "src/support/numeric.hpp"
+
+namespace {
+
+using namespace leak;
+
+void report() {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  bench::print_header(
+      "Figure 7: frontier beta0(p0) for beta_max >= 1/3 (Eq 13)");
+  Table t({"p0", "frontier branch1", "frontier branch2", "both branches"});
+  for (const auto& pt :
+       analytic::fig7_frontier(num::linspace(0.05, 0.95, 19), cfg)) {
+    t.add_row({Table::fmt(pt.p0, 2), Table::fmt(pt.beta0_branch1, 4),
+               Table::fmt(pt.beta0_branch2, 4),
+               Table::fmt(pt.beta0_both, 4)});
+  }
+  bench::emit(t, "fig7.csv");
+
+  const auto opt = analytic::fig7_optimum(cfg);
+  Table o({"quantity", "paper", "computed"});
+  o.add_row({"optimal p0", "0.5", Table::fmt(opt.p0, 2)});
+  o.add_row({"minimal beta0", "0.2421", Table::fmt(opt.beta0_both, 4)});
+  bench::emit(o, "fig7_optimum.csv");
+
+  bench::print_header(
+      "Simulator verification at p0=0.5 (16.75 ETH threshold)");
+  const auto stated = analytic::AnalyticConfig::stated();
+  const double bound = analytic::beta0_lower_bound(0.5, stated);
+  Table v({"beta0", "predicted", "sim beta peak (branch 1)",
+           "exceeded both?"});
+  for (const double d : {-0.03, -0.01, 0.01, 0.03}) {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = 1000;
+    sc.beta0 = bound + d;
+    sc.strategy = sim::Strategy::kSemiActiveOverthrow;
+    sc.max_epochs = 5000;
+    const auto r = sim::run_partition_sim(sc);
+    v.add_row({Table::fmt(bound + d, 4), d > 0 ? "exceed" : "stay below",
+               Table::fmt(r.branch[0].beta_peak, 4),
+               r.beta_exceeded_third_both ? "yes" : "no"});
+  }
+  bench::emit(v, "fig7_sim.csv");
+}
+
+void BM_BetaMax(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  double p0 = 0.1;
+  for (auto _ : state) {
+    p0 = p0 >= 0.9 ? 0.1 : p0 + 1e-4;
+    benchmark::DoNotOptimize(analytic::beta_max(p0, 0.25, cfg));
+  }
+}
+BENCHMARK(BM_BetaMax);
+
+void BM_Fig7Frontier(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  const auto grid = num::linspace(0.01, 0.99, 199);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::fig7_frontier(grid, cfg));
+  }
+}
+BENCHMARK(BM_Fig7Frontier)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

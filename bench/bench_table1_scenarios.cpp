@@ -1,0 +1,103 @@
+// Table 1 — the five analysed scenarios and their outcomes, each with a
+// quantitative witness computed end to end (closed form + simulators).
+#include "bench/bench_common.hpp"
+
+#include "src/analytic/tables.hpp"
+#include "src/bouncing/distribution.hpp"
+#include "src/sim/partition_sim.hpp"
+#include "src/sim/slot_sim.hpp"
+
+namespace {
+
+using namespace leak;
+
+void report() {
+  bench::print_header("Table 1: analysed scenarios and outcomes");
+  const auto cfg = analytic::AnalyticConfig::paper();
+  Table t({"scenario", "byzantine behaviour", "outcome", "witness",
+           "witness value"});
+  for (const auto& row : analytic::table1(cfg)) {
+    t.add_row({row.id, row.name, row.outcome, row.witness_label,
+               Table::fmt(row.witness, 4)});
+  }
+  bench::emit(t, "table1.csv");
+
+  bench::print_header("End-to-end verification of each outcome");
+  Table v({"scenario", "check", "result"});
+  {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = 400;
+    sc.strategy = sim::Strategy::kNone;
+    sc.max_epochs = 5000;
+    const auto r = sim::run_partition_sim(sc);
+    v.add_row({"5.1", "two conflicting finalized branches (sim)",
+               r.conflicting_finalization_epoch > 0
+                   ? "yes, epoch " +
+                         std::to_string(r.conflicting_finalization_epoch)
+                   : "no"});
+  }
+  {
+    sim::SlotSimConfig sc;
+    sc.n_honest = 30;
+    sc.n_byzantine = 2;
+    sc.epochs = 8;
+    sc.p0 = 0.5;
+    sc.gst_epoch = 4.0;
+    const auto r = sim::SlotSim(sc).run();
+    v.add_row({"5.2.1", "equivocators slashed after GST (slot sim)",
+               std::to_string(r.slashed.size()) + " slashed"});
+  }
+  {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = 1000;
+    sc.beta0 = 0.33;
+    sc.strategy = sim::Strategy::kSemiActiveFinalize;
+    sc.max_epochs = 1000;
+    const auto r = sim::run_partition_sim(sc);
+    v.add_row({"5.2.2", "conflict without slashable action (sim)",
+               "epoch " + std::to_string(r.conflicting_finalization_epoch)});
+  }
+  {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = 1000;
+    sc.beta0 = 0.26;
+    sc.strategy = sim::Strategy::kSemiActiveOverthrow;
+    sc.max_epochs = 5000;
+    const auto r = sim::run_partition_sim(sc);
+    v.add_row({"5.2.3", "beta > 1/3 on both branches (sim, beta0=0.26)",
+               r.beta_exceeded_third_both
+                   ? "yes, peak " + Table::fmt(r.branch[0].beta_peak, 4)
+                   : "no"});
+  }
+  {
+    bouncing::StakeLaw law(0.5, cfg);
+    const double p =
+        bouncing::prob_beta_exceeds_third(4000.0, 0.333, law, cfg);
+    v.add_row({"5.3", "P[beta>1/3] at t=4000, beta0=0.333 (Eq 24)",
+               Table::fmt(p, 4)});
+  }
+  bench::emit(v, "table1_verification.csv");
+}
+
+void BM_Table1Generation(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::table1(cfg));
+  }
+}
+BENCHMARK(BM_Table1Generation);
+
+void BM_SlotSimEpoch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SlotSimConfig sc;
+    sc.n_honest = 32;
+    sc.epochs = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(sim::SlotSim(sc).run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 32);
+}
+BENCHMARK(BM_SlotSimEpoch)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

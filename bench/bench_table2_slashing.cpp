@@ -1,0 +1,76 @@
+// Table 2 — time before finalization on conflicting branches with the
+// slashable Byzantine strategy (active on both branches), p0 = 0.5.
+// Columns: paper value, closed form (Eq 9), and the discrete-protocol
+// partition simulator measurement.
+#include "bench/bench_common.hpp"
+
+#include "src/analytic/tables.hpp"
+#include "src/sim/partition_sim.hpp"
+
+namespace {
+
+using namespace leak;
+
+void report() {
+  bench::print_header(
+      "Table 2: conflicting-finalization epoch, slashable strategy "
+      "(p0=0.5)");
+  const auto cfg = analytic::AnalyticConfig::paper();
+  const auto stated = analytic::AnalyticConfig::stated();
+  Table t({"beta0", "paper", "closed form (Eq 9)", "sim (16.75 ETH)",
+           "rel.err"});
+  for (const auto& row : analytic::table2(cfg)) {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = 1000;
+    sc.beta0 = row.beta0;
+    sc.p0 = 0.5;
+    sc.strategy = row.beta0 > 0.0 ? sim::Strategy::kSlashable
+                                  : sim::Strategy::kNone;
+    sc.max_epochs = 6000;
+    const auto sr = sim::run_partition_sim(sc);
+    const double sim_t =
+        static_cast<double>(sr.branch[0].supermajority_epoch);
+    t.add_row({Table::fmt(row.beta0, 2), Table::fmt(row.paper_epochs, 0),
+               Table::fmt(row.computed_epochs, 1), Table::fmt(sim_t, 0),
+               Table::fmt(std::abs(row.computed_epochs - row.paper_epochs) /
+                              row.paper_epochs * 100.0,
+                          3) +
+                   "%"});
+  }
+  bench::emit(t, "table2.csv");
+  bench::print_header("Reference: stated 16.75 ETH threshold closed form");
+  Table t2({"beta0", "Eq 9 (16.75)"});
+  for (const auto& row : analytic::table2(stated)) {
+    t2.add_row(
+        {Table::fmt(row.beta0, 2), Table::fmt(row.computed_epochs, 1)});
+  }
+  bench::emit(t2, "table2_stated.csv");
+}
+
+void BM_Eq9ClosedForm(benchmark::State& state) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  const double beta0 = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analytic::time_to_supermajority_slashing(0.5, beta0, cfg));
+  }
+}
+BENCHMARK(BM_Eq9ClosedForm)->Arg(10)->Arg(20)->Arg(33);
+
+void BM_PartitionSimSlashable(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::PartitionSimConfig sc;
+    sc.n_validators = static_cast<std::uint32_t>(state.range(0));
+    sc.beta0 = 0.2;
+    sc.strategy = sim::Strategy::kSlashable;
+    sc.max_epochs = 4000;
+    benchmark::DoNotOptimize(sim::run_partition_sim(sc));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4000);
+}
+BENCHMARK(BM_PartitionSimSlashable)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

@@ -1,0 +1,65 @@
+// Probabilistic bouncing attack explorer (Section 5.3).
+//
+// For a chosen beta0, prints the feasibility window of Eq 14, the
+// attack-continuation probabilities, the Eq 24 probability of breaking
+// the 1/3 threshold over time, and a Monte Carlo cross-check with the
+// exact discrete protocol dynamics.
+//
+//   ./bouncing_attack [beta0] [p0]     (defaults: 0.33, 0.5)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/analytic/stake_model.hpp"
+#include "src/bouncing/distribution.hpp"
+#include "src/bouncing/markov.hpp"
+#include "src/bouncing/montecarlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace leak;
+  const double beta0 = argc > 1 ? std::atof(argv[1]) : 0.33;
+  const double p0 = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const auto cfg = analytic::AnalyticConfig::paper();
+
+  std::printf("probabilistic bouncing attack: beta0=%.4f p0=%.2f\n\n",
+              beta0, p0);
+
+  if (const auto iv = bouncing::feasible_p0_interval(beta0)) {
+    std::printf("Eq 14 feasibility window for p0: (%.4f, %.4f)%s\n",
+                iv->first, iv->second,
+                bouncing::attack_feasible(p0, beta0) ? "  [p0 inside]"
+                                                     : "  [p0 OUTSIDE]");
+  }
+
+  std::printf("\nattack-continuation probability (j = 8 proposer slots):\n");
+  for (const std::uint64_t k : {10ULL, 100ULL, 1000ULL}) {
+    std::printf("  %5llu epochs: %.3e\n",
+                static_cast<unsigned long long>(k),
+                bouncing::continuation_probability(beta0, 8, k));
+  }
+
+  bouncing::StakeLaw law(p0, cfg);
+  std::printf("\nP[beta > 1/3] over time (Eq 24, one branch | both):\n");
+  for (double t = 1000.0; t <= 7500.0; t += 500.0) {
+    const double one = bouncing::prob_beta_exceeds_third(t, beta0, law, cfg);
+    const double both =
+        bouncing::prob_beta_exceeds_third_either_branch(t, beta0, law, cfg);
+    std::printf("  epoch %5.0f: %.4f | %.4f\n", t, one, both);
+  }
+  std::printf("byzantine ejection epoch: %.0f\n",
+              analytic::ejection_epoch(analytic::Behavior::kSemiActive,
+                                       cfg));
+
+  std::printf("\nMonte Carlo cross-check (2000 paths, exact dynamics):\n");
+  bouncing::McConfig mc;
+  mc.beta0 = beta0;
+  mc.p0 = p0;
+  mc.paths = 2000;
+  mc.epochs = 6000;
+  const auto r = bouncing::run_bouncing_mc(mc, {2000, 4000, 6000});
+  for (std::size_t k = 0; k < r.epochs.size(); ++k) {
+    std::printf("  epoch %5zu: P=%.4f (ejected %.3f, capped %.3f)\n",
+                r.epochs[k], r.prob_beta_exceeds[k],
+                r.ejected_fraction[k], r.capped_fraction[k]);
+  }
+  return 0;
+}

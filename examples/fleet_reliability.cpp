@@ -1,0 +1,71 @@
+// Fleet-reliability study (mixed-population model).
+//
+// The paper's classes are idealized: fully active, semi-active or
+// silent.  Real validator fleets miss a few percent of duties.  This
+// example uses the Population API to ask an operational question: when
+// a partition splits the network, how do realistic miss rates change
+// (a) the time for the majority side to regain finality and (b) the
+// Byzantine head-room before the 1/3 threshold?
+//
+//   ./fleet_reliability [miss_rate] [p0]     (defaults: 0.05, 0.55)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/analytic/population.hpp"
+#include "src/analytic/solvers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace leak::analytic;
+  const double miss = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const double p0 = argc > 2 ? std::atof(argv[2]) : 0.55;
+  const AnalyticConfig cfg = AnalyticConfig::paper();
+
+  // A validator missing a fraction `miss` of its duties accrues score
+  // at slope miss*(bias + decrement) on average (+4 when missed, -1
+  // when not, floored in practice; the linear mean is a good model for
+  // small miss rates).
+  const double flaky_slope = miss * (cfg.score_bias +
+                                     cfg.score_active_decrement);
+
+  std::printf("fleet reliability study: miss rate %.1f%%, honest split "
+              "p0=%.2f\n\n", miss * 100.0, p0);
+
+  std::printf("%-28s %-18s %-14s\n", "branch population",
+              "2/3 regained at", "epochs vs ideal");
+  const auto ideal = make_honest_partition_population(p0, cfg);
+  const double t_ideal = ideal.supermajority_epoch();
+  {
+    Population flaky(
+        {
+            {"active-but-flaky", p0, flaky_slope, true},
+            {"partitioned-away", 1.0 - p0, cfg.score_bias, false},
+        },
+        cfg);
+    const double t = flaky.supermajority_epoch();
+    std::printf("%-28s %-18.0f %+.0f\n", "ideal actives", t_ideal, 0.0);
+    std::printf("%-28s %-18.0f %+.0f\n", "flaky actives", t, t - t_ideal);
+  }
+
+  std::printf("\nByzantine head-room (semi-active adversary, even split):\n");
+  std::printf("%8s %24s %24s\n", "beta0", "peak beta (ideal honest)",
+              "peak beta (flaky honest)");
+  for (double b0 : {0.20, 0.2421, 0.28}) {
+    const auto ideal_pop = make_semiactive_population(0.5, b0, cfg);
+    Population flaky_pop(
+        {
+            {"honest-active", 0.5 * (1.0 - b0), flaky_slope, true},
+            {"byzantine", b0,
+             (cfg.score_bias - cfg.score_active_decrement) / 2.0, true},
+            {"honest-inactive", 0.5 * (1.0 - b0), cfg.score_bias, false},
+        },
+        cfg);
+    std::printf("%8.4f %24.4f %24.4f\n", b0,
+                ideal_pop.peak_proportion(1).value,
+                flaky_pop.peak_proportion(1).value);
+  }
+  std::printf(
+      "\n=> honest unreliability weakens the network on both fronts: the\n"
+      "   majority branch recovers later, and the same Byzantine stake\n"
+      "   peaks at a higher proportion (flaky honest stake also bleeds).\n");
+  return 0;
+}

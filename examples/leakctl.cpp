@@ -1,0 +1,143 @@
+// leakctl — command-line front end over the whole library: regenerate
+// any paper artifact, query the analytic models, or run a scenario,
+// without writing code.
+//
+//   leakctl table1|table2|table3          reproduce a paper table
+//   leakctl stake <behavior> <epoch>      stake closed form (Fig 2)
+//   leakctl ratio <p0> <epoch>            active ratio (Fig 3 / Eq 5)
+//   leakctl conflict <strategy> <beta0> [p0]
+//                                         time to conflicting finalization
+//   leakctl region [p0]                   Fig 7 bound for beta > 1/3
+//   leakctl bounce <beta0> <epoch>        Eq 24 probability (Fig 10)
+//   leakctl gst                           Section 5.1 safety bound
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/analytic/solvers.hpp"
+#include "src/analytic/tables.hpp"
+#include "src/bouncing/distribution.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace leak;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "  table1 | table2 | table3\n"
+      "  stake <active|semi|inactive> <epoch>\n"
+      "  ratio <p0> <epoch>\n"
+      "  conflict <honest|slashable|semiactive> <beta0> [p0=0.5]\n"
+      "  region [p0=0.5]\n"
+      "  bounce <beta0> <epoch>\n"
+      "  gst\n",
+      argv0);
+  return 2;
+}
+
+int cmd_tables(const std::string& which) {
+  const auto cfg = analytic::AnalyticConfig::paper();
+  if (which == "table1") {
+    Table t({"scenario", "outcome", "witness", "value"});
+    for (const auto& r : analytic::table1(cfg)) {
+      t.add_row({r.id, r.outcome, r.witness_label,
+                 Table::fmt(r.witness, 4)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  }
+  const auto rows =
+      which == "table2" ? analytic::table2(cfg) : analytic::table3(cfg);
+  Table t({"beta0", "paper", "computed"});
+  for (const auto& r : rows) {
+    t.add_row({Table::fmt(r.beta0, 2), Table::fmt(r.paper_epochs, 0),
+               Table::fmt(r.computed_epochs, 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  const auto cfg = analytic::AnalyticConfig::paper();
+
+  if (cmd == "table1" || cmd == "table2" || cmd == "table3") {
+    return cmd_tables(cmd);
+  }
+  if (cmd == "stake" && argc >= 4) {
+    const std::string b = argv[2];
+    const double t = std::atof(argv[3]);
+    analytic::Behavior behavior = analytic::Behavior::kInactive;
+    if (b == "active") behavior = analytic::Behavior::kActive;
+    else if (b == "semi") behavior = analytic::Behavior::kSemiActive;
+    else if (b != "inactive") return usage(argv[0]);
+    std::printf("stake(%s, t=%.0f) = %.4f ETH (ejection at %.0f)\n",
+                b.c_str(), t,
+                analytic::stake_with_ejection(behavior, t, cfg),
+                analytic::ejection_epoch(behavior, cfg));
+    return 0;
+  }
+  if (cmd == "ratio" && argc >= 4) {
+    const double p0 = std::atof(argv[2]);
+    const double t = std::atof(argv[3]);
+    std::printf("active ratio(p0=%.2f, t=%.0f) = %.4f (2/3 at t=%.0f)\n",
+                p0, t, analytic::active_ratio_honest(t, p0, cfg),
+                analytic::time_to_supermajority_honest(p0, cfg));
+    return 0;
+  }
+  if (cmd == "conflict" && argc >= 4) {
+    const std::string s = argv[2];
+    const double beta0 = std::atof(argv[3]);
+    const double p0 = argc >= 5 ? std::atof(argv[4]) : 0.5;
+    analytic::ByzantineStrategy strat = analytic::ByzantineStrategy::kNone;
+    if (s == "slashable") strat = analytic::ByzantineStrategy::kSlashable;
+    else if (s == "semiactive") {
+      strat = analytic::ByzantineStrategy::kSemiActive;
+    } else if (s != "honest") {
+      return usage(argv[0]);
+    }
+    const double t =
+        analytic::conflicting_finalization_epoch(p0, beta0, strat, cfg);
+    std::printf("conflicting finalization (%s, beta0=%.2f, p0=%.2f): "
+                "%.0f epochs (~%.1f days)\n",
+                s.c_str(), beta0, p0, t, t * 6.4 / 60.0 / 24.0);
+    return 0;
+  }
+  if (cmd == "region") {
+    const double p0 = argc >= 3 ? std::atof(argv[2]) : 0.5;
+    std::printf("min beta0 for beta > 1/3 on both branches at p0=%.2f: "
+                "%.4f (branch 1 alone: %.4f)\n",
+                p0,
+                std::max(analytic::beta0_lower_bound(p0, cfg),
+                         analytic::beta0_lower_bound(1.0 - p0, cfg)),
+                analytic::beta0_lower_bound(p0, cfg));
+    return 0;
+  }
+  if (cmd == "bounce" && argc >= 4) {
+    const double beta0 = std::atof(argv[2]);
+    const double t = std::atof(argv[3]);
+    bouncing::StakeLaw law(0.5, cfg);
+    std::printf("P[beta > 1/3 | bouncing, beta0=%.4f, t=%.0f] = %.4f "
+                "(both branches: %.4f)\n",
+                beta0, t,
+                bouncing::prob_beta_exceeds_third(t, beta0, law, cfg),
+                bouncing::prob_beta_exceeds_third_either_branch(t, beta0,
+                                                                law, cfg));
+    return 0;
+  }
+  if (cmd == "gst") {
+    std::printf("GST safety upper bound (honest only): %.0f epochs "
+                "(~%.1f days)\n",
+                analytic::gst_safety_upper_bound(cfg),
+                analytic::gst_safety_upper_bound(cfg) * 6.4 / 60.0 / 24.0);
+    return 0;
+  }
+  return usage(argv[0]);
+}

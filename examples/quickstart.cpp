@@ -1,0 +1,49 @@
+// Quickstart: the library in ~40 lines.
+//
+// Computes the three stake trajectories of Figure 2, the GST safety
+// upper bound of Section 5.1, and the Table 2 speedups, using only the
+// public analytic API.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "src/analytic/solvers.hpp"
+#include "src/analytic/stake_model.hpp"
+
+int main() {
+  using namespace leak::analytic;
+  const AnalyticConfig cfg = AnalyticConfig::paper();
+
+  std::printf("Ethereum PoS inactivity-leak analysis (paper config)\n\n");
+
+  std::printf("stake after t epochs of leak (ETH):\n");
+  std::printf("%8s %10s %12s %10s\n", "epoch", "active", "semi-active",
+              "inactive");
+  for (double t = 0.0; t <= 5000.0; t += 1000.0) {
+    std::printf("%8.0f %10.3f %12.3f %10.3f\n", t,
+                stake_with_ejection(Behavior::kActive, t, cfg),
+                stake_with_ejection(Behavior::kSemiActive, t, cfg),
+                stake_with_ejection(Behavior::kInactive, t, cfg));
+  }
+
+  std::printf("\nejection epochs: inactive %.0f, semi-active %.0f\n",
+              ejection_epoch(Behavior::kInactive, cfg),
+              ejection_epoch(Behavior::kSemiActive, cfg));
+
+  std::printf("\nGST safety upper bound (honest only): %.0f epochs (~3 weeks)\n",
+              gst_safety_upper_bound(cfg));
+
+  std::printf("\nepochs to conflicting finalization (p0 = 0.5):\n");
+  std::printf("%8s %16s %20s\n", "beta0", "slashable", "non-slashable");
+  for (double b0 : {0.0, 0.1, 0.2, 0.33}) {
+    std::printf("%8.2f %16.0f %20.0f\n", b0,
+                conflicting_finalization_epoch(
+                    0.5, b0, ByzantineStrategy::kSlashable, cfg),
+                conflicting_finalization_epoch(
+                    0.5, b0, ByzantineStrategy::kSemiActive, cfg));
+  }
+
+  std::printf("\nminimum beta0 for beta > 1/3 on both branches: %.4f\n",
+              beta0_lower_bound(0.5, cfg));
+  return 0;
+}

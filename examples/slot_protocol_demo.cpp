@@ -1,0 +1,66 @@
+// Full protocol walkthrough at slot granularity.
+//
+// Drives the complete stack — discrete-event network with a two-region
+// partition, block proposals, LMD-GHOST fork choice, FFG justification
+// and finalization, the inactivity-leak trigger, Byzantine equivocation
+// and post-GST slashing — over a partition-and-heal episode, narrating
+// what every subsystem sees.
+//
+//   ./slot_protocol_demo [gst_epoch] [n_byzantine]  (defaults: 5, 2)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/slot_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace leak;
+  const double gst_epoch = argc > 1 ? std::atof(argv[1]) : 5.0;
+  const auto n_byz =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 2u;
+
+  sim::SlotSimConfig cfg;
+  cfg.n_honest = 30;
+  cfg.n_byzantine = n_byz;
+  cfg.epochs = 12;
+  cfg.p0 = 0.5;
+  cfg.gst_epoch = gst_epoch;
+
+  std::printf("slot-level protocol run: %u honest + %u byzantine, "
+              "partition heals at epoch %.0f, %zu epochs total\n\n",
+              cfg.n_honest, cfg.n_byzantine, gst_epoch, cfg.epochs);
+
+  const auto r = sim::SlotSim(cfg).run();
+
+  std::printf("messages delivered: %llu\n",
+              static_cast<unsigned long long>(r.messages_delivered));
+  std::printf("blocks in validator 0's tree: %zu (of %zu slots)\n",
+              r.blocks_seen, cfg.epochs * 32);
+  std::printf("inactivity leak observed: %s\n",
+              r.leak_observed ? "yes" : "no");
+
+  std::printf("\nfinal views (validator: justified / finalized epoch):\n");
+  for (std::uint32_t i = 0; i < cfg.n_honest + cfg.n_byzantine; ++i) {
+    if (i < 4 || i + 4 >= cfg.n_honest + cfg.n_byzantine ||
+        (i >= cfg.n_honest)) {
+      std::printf("  v%-3u %s: justified %llu, finalized %llu\n", i,
+                  i >= cfg.n_honest ? "(byz)" : "     ",
+                  static_cast<unsigned long long>(r.justified_epoch[i]),
+                  static_cast<unsigned long long>(r.finalized_epoch[i]));
+    }
+  }
+
+  std::printf("\nslashings: %zu\n", r.slashed.size());
+  for (const auto v : r.slashed) {
+    std::printf("  validator %u slashed (double vote across branches)\n",
+                v.value());
+  }
+  std::printf("safety violations (conflicting finalization): %zu\n",
+              r.safety_violations);
+
+  if (gst_epoch > 0 && r.slashed.size() == n_byz) {
+    std::printf("\n=> the Section 5.2.1 strategy is punished once the\n"
+                "   partition heals and equivocations propagate; the harm\n"
+                "   it could do before GST is the subject of Table 2.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Configuration of the continuous (analytic) model of Section 4.3.
+//
+// Calibration note (see DESIGN.md §4): the paper states an ejection
+// threshold of 16.75 ETH but reports ejection epochs 4685 (inactive) and
+// 7652 (semi-active); those epochs correspond to an effective threshold
+// of ~16.6375 ETH.  `paper()` uses the calibrated threshold so every
+// downstream number (Tables 2/3, Figure 7's 0.2421 bound, the 4686-epoch
+// GST bound) reproduces the paper exactly; `stated()` uses the literal
+// 16.75 and `mainnet()` the spec's 16 ETH, both for sensitivity checks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace leak::analytic {
+
+struct AnalyticConfig {
+  /// Initial stake s0 in ETH.
+  double initial_stake = 32.0;
+  /// Inactivity penalty quotient (2^26 in the paper's Eq 2/3).
+  double quotient = 67108864.0;  // 2^26
+  /// Score added per inactive epoch.
+  double score_bias = 4.0;
+  /// Score removed per active epoch during a leak.
+  double score_active_decrement = 1.0;
+  /// Ejection threshold in ETH.
+  double ejection_threshold = 16.6375;
+
+  [[nodiscard]] static AnalyticConfig paper() { return AnalyticConfig{}; }
+
+  [[nodiscard]] static AnalyticConfig stated() {
+    AnalyticConfig c;
+    c.ejection_threshold = 16.75;
+    return c;
+  }
+
+  [[nodiscard]] static AnalyticConfig mainnet() {
+    AnalyticConfig c;
+    c.quotient = 16777216.0;  // 2^24 (Bellatrix)
+    c.ejection_threshold = 16.0;
+    return c;
+  }
+};
+
+}  // namespace leak::analytic

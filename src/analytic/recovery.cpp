@@ -1,0 +1,41 @@
+#include "src/analytic/recovery.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leak::analytic {
+
+double recovery_epochs(double score0, const RecoveryConfig& rc) {
+  if (score0 < 0.0) throw std::invalid_argument("recovery: score0 < 0");
+  return score0 / rc.decay_per_epoch;
+}
+
+double residual_loss(double score0, double stake_end,
+                     const AnalyticConfig& cfg, const RecoveryConfig& rc) {
+  if (score0 < 0.0 || stake_end < 0.0) {
+    throw std::invalid_argument("residual_loss: negative inputs");
+  }
+  // Score decays linearly: I(t) = score0 - d t over T = score0/d epochs.
+  // ds/dt = -I(t) s / q  =>  s(T) = s_end * exp(-score0^2 / (2 d q)).
+  const double d = rc.decay_per_epoch;
+  const double factor = std::exp(-score0 * score0 / (2.0 * d * cfg.quotient));
+  return stake_end * (1.0 - factor);
+}
+
+double residual_loss_discrete(double score0, double stake_end,
+                              const AnalyticConfig& cfg,
+                              const RecoveryConfig& rc) {
+  double s = stake_end;
+  double score = score0;
+  while (score > 0.0) {
+    s -= score * s / cfg.quotient;
+    score = std::max(score - rc.decay_per_epoch, 0.0);
+  }
+  return stake_end - s;
+}
+
+double score_at_leak_end(double t, const AnalyticConfig& cfg) {
+  return cfg.score_bias * t;
+}
+
+}  // namespace leak::analytic

@@ -1,0 +1,43 @@
+// Post-leak recovery dynamics.
+//
+// The paper observes (Figure 3 discussion) that the active-stake ratio
+// keeps rising for a while after the 2/3 threshold is regained "because
+// the penalties for inactive validators take some time to return to
+// zero".  This module quantifies that tail: once finalization resumes,
+// a previously-inactive validator's score decays by
+// (active decrement + recovery rate) per epoch while its (shrinking)
+// score keeps inflicting Eq 2 penalties.
+#pragma once
+
+#include "src/analytic/config.hpp"
+
+namespace leak::analytic {
+
+/// Protocol score decay per epoch once the leak has ended and the
+/// validator attests again (-1 active, -16 out-of-leak recovery).
+struct RecoveryConfig {
+  double decay_per_epoch = 17.0;
+};
+
+/// Epochs until a score of `score0` returns to zero after the leak.
+[[nodiscard]] double recovery_epochs(double score0,
+                                     const RecoveryConfig& rc = {});
+
+/// Residual stake lost *after* the leak ends, starting from score0 and
+/// stake s_end, in ETH (closed form of the sum of Eq 2 penalties over
+/// the linearly decaying score; exact for the continuous model).
+[[nodiscard]] double residual_loss(double score0, double stake_end,
+                                   const AnalyticConfig& cfg,
+                                   const RecoveryConfig& rc = {});
+
+/// Discrete cross-check: iterate the exact recurrences until the score
+/// reaches zero; returns the lost stake in ETH.
+[[nodiscard]] double residual_loss_discrete(double score0, double stake_end,
+                                            const AnalyticConfig& cfg,
+                                            const RecoveryConfig& rc = {});
+
+/// The score an inactive validator carries when its branch regains the
+/// supermajority at epoch t (score slope * t, for the continuous model).
+[[nodiscard]] double score_at_leak_end(double t, const AnalyticConfig& cfg);
+
+}  // namespace leak::analytic

@@ -1,0 +1,43 @@
+// Generators for the paper's Tables 1-3: each row carries the paper's
+// reported value next to the value this library computes, so benches and
+// tests can assert reproduction quality.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analytic/solvers.hpp"
+
+namespace leak::analytic {
+
+/// One row of Table 2 or Table 3.
+struct FinalizationTimeRow {
+  double beta0 = 0.0;
+  double paper_epochs = 0.0;     ///< value printed in the paper
+  double computed_epochs = 0.0;  ///< our reproduction
+};
+
+/// Table 2 — time before conflicting finalization, slashable strategy,
+/// p0 = 0.5, beta0 in {0, 0.1, 0.15, 0.2, 0.33}.
+[[nodiscard]] std::vector<FinalizationTimeRow> table2(
+    const AnalyticConfig& cfg);
+
+/// Table 3 — same for the non-slashable (semi-active) strategy.
+[[nodiscard]] std::vector<FinalizationTimeRow> table3(
+    const AnalyticConfig& cfg);
+
+/// One row of Table 1 — scenario and qualitative outcome.
+struct ScenarioRow {
+  std::string id;
+  std::string name;
+  std::string outcome;
+  /// Key quantitative witness computed by this library (epochs or
+  /// probability, depending on the scenario).
+  double witness = 0.0;
+  std::string witness_label;
+};
+
+/// Table 1 — the five analysed scenarios with computed witnesses.
+[[nodiscard]] std::vector<ScenarioRow> table1(const AnalyticConfig& cfg);
+
+}  // namespace leak::analytic

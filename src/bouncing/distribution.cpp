@@ -1,0 +1,79 @@
+#include "src/bouncing/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/numeric.hpp"
+
+namespace leak::bouncing {
+
+StakeLaw::StakeLaw(double p0, const analytic::AnalyticConfig& cfg)
+    : p0_(p0),
+      q_(cfg.quotient),
+      s0_(cfg.initial_stake),
+      a_(cfg.ejection_threshold),
+      b_(cfg.initial_stake),
+      walk_(WalkParams::paper(p0)) {}
+
+double StakeLaw::mu_ln(double t) const {
+  // q ln(s/s0) has mean -V t^2 / 2 (integrated drift of the score walk).
+  return std::log(s0_) - walk_.drift * t * t / (2.0 * q_);
+}
+
+double StakeLaw::sigma_ln(double t) const {
+  // Variance of q ln(s/s0) is (2/3) D t^3 — half the paper's erf
+  // denominator (4/3) D t^3 squared, consistent with Eq 19.
+  return std::sqrt(2.0 / 3.0 * walk_.diffusion * t * t * t) / q_;
+}
+
+double StakeLaw::cdf_uncensored(double s, double t) const {
+  if (t <= 0.0) return s >= s0_ ? 1.0 : 0.0;
+  return num::lognormal_cdf(s, mu_ln(t), sigma_ln(t));
+}
+
+double StakeLaw::pdf_uncensored(double s, double t) const {
+  if (t <= 0.0) return 0.0;
+  return num::lognormal_pdf(s, mu_ln(t), sigma_ln(t));
+}
+
+double StakeLaw::mass_ejected(double t) const {
+  return cdf_uncensored(a_, t);
+}
+
+double StakeLaw::mass_capped(double t) const {
+  return 1.0 - cdf_uncensored(b_, t);
+}
+
+double StakeLaw::pdf_censored(double x, double t) const {
+  if (x <= a_ || x >= b_) return 0.0;  // point masses handled separately
+  return pdf_uncensored(x, t);
+}
+
+double StakeLaw::cdf_censored(double x, double t) const {
+  // Eq 22: F(a) + H(x-a)[F(x) - F(a)] + H(x-b)[1 - F(b)].
+  if (x < 0.0) return 0.0;
+  double acc = mass_ejected(t);
+  if (x >= a_) acc += cdf_uncensored(x, t) - mass_ejected(t);
+  if (x >= b_) acc += mass_capped(t);
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+double prob_beta_exceeds_third(double t, double beta0, const StakeLaw& law,
+                               const analytic::AnalyticConfig& cfg) {
+  const double t_eject_byz =
+      analytic::ejection_epoch(analytic::Behavior::kSemiActive, cfg);
+  if (t >= t_eject_byz) return 0.0;  // Byzantine stake gone
+  if (t <= 0.0) return beta0 > 1.0 / 3.0 ? 1.0 : 0.0;
+  const double sb = analytic::stake(analytic::Behavior::kSemiActive, t, cfg);
+  // beta(t) > 1/3  <=>  sH < 2 beta0 / (1 - beta0) * sB(t)  (Eq 23-24).
+  const double threshold = 2.0 * beta0 / (1.0 - beta0) * sb;
+  return law.cdf_censored(threshold, t);
+}
+
+double prob_beta_exceeds_third_either_branch(
+    double t, double beta0, const StakeLaw& law,
+    const analytic::AnalyticConfig& cfg) {
+  return std::min(1.0, 2.0 * prob_beta_exceeds_third(t, beta0, law, cfg));
+}
+
+}  // namespace leak::bouncing

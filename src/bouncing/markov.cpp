@@ -1,0 +1,42 @@
+#include "src/bouncing/markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leak::bouncing {
+
+std::optional<std::pair<double, double>> feasible_p0_interval(double beta0) {
+  if (beta0 < 0.0 || beta0 >= 1.0) {
+    throw std::invalid_argument("feasible_p0_interval: beta0 in [0,1)");
+  }
+  const double lo = (2.0 - 3.0 * beta0) / (3.0 * (1.0 - beta0));
+  const double hi = 2.0 / (3.0 * (1.0 - beta0));
+  if (lo >= hi) return std::nullopt;
+  return std::pair{lo, hi};
+}
+
+bool attack_feasible(double p0, double beta0) {
+  // (a) honest actives alone cannot justify: p0 (1-beta0) < 2/3;
+  // (b) honest actives + Byzantine can:      p0 (1-beta0) + beta0 > 2/3.
+  return p0 * (1.0 - beta0) < 2.0 / 3.0 &&
+         p0 * (1.0 - beta0) + beta0 > 2.0 / 3.0;
+}
+
+double continuation_probability(double beta0, int j, std::uint64_t k) {
+  if (j < 0) throw std::invalid_argument("continuation_probability: j >= 0");
+  const double per_epoch = 1.0 - std::pow(1.0 - beta0, j);
+  return std::pow(per_epoch, static_cast<double>(k));
+}
+
+TwoEpochIncrement two_epoch_increment(double p0) {
+  if (p0 < 0.0 || p0 > 1.0) {
+    throw std::invalid_argument("two_epoch_increment: p0 in [0,1]");
+  }
+  TwoEpochIncrement t;
+  t.p_plus8 = p0 * (1.0 - p0);
+  t.p_plus3 = p0 * p0 + (1.0 - p0) * (1.0 - p0);
+  t.p_minus2 = p0 * (1.0 - p0);
+  return t;
+}
+
+}  // namespace leak::bouncing

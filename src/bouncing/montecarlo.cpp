@@ -1,0 +1,139 @@
+#include "src/bouncing/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/analytic/stake_model.hpp"
+
+namespace leak::bouncing {
+
+McResult run_bouncing_mc(const McConfig& cfg,
+                         const std::vector<std::size_t>& snapshot_epochs) {
+  if (snapshot_epochs.empty() ||
+      !std::is_sorted(snapshot_epochs.begin(), snapshot_epochs.end()) ||
+      snapshot_epochs.back() > cfg.epochs) {
+    throw std::invalid_argument("run_bouncing_mc: bad snapshot grid");
+  }
+  McResult res;
+  res.epochs = snapshot_epochs;
+  res.stakes.assign(snapshot_epochs.size(), {});
+  for (auto& v : res.stakes) v.reserve(cfg.paths);
+  res.ejected_fraction.assign(snapshot_epochs.size(), 0.0);
+  res.capped_fraction.assign(snapshot_epochs.size(), 0.0);
+  res.prob_beta_exceeds.assign(snapshot_epochs.size(), 0.0);
+
+  // Byzantine (semi-active) reference stake at each snapshot epoch.
+  std::vector<double> sb(snapshot_epochs.size());
+  for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
+    sb[k] = analytic::stake(analytic::Behavior::kSemiActive,
+                            static_cast<double>(snapshot_epochs[k]),
+                            cfg.model);
+  }
+  const double factor = 2.0 * cfg.beta0 / (1.0 - cfg.beta0);
+
+  Rng root(cfg.seed);
+  for (std::size_t path = 0; path < cfg.paths; ++path) {
+    Rng rng = root.fork();
+    double stake = cfg.model.initial_stake;
+    double score = 0.0;
+    bool ejected = false;
+    std::size_t next_snap = 0;
+    for (std::size_t t = 1; t <= cfg.epochs && next_snap < snapshot_epochs.size();
+         ++t) {
+      if (!ejected) {
+        // Eq 2 penalty with previous score, then Eq 1 update (floored).
+        stake -= score * stake / cfg.model.quotient;
+        const bool active = rng.bernoulli(cfg.p0);
+        if (active) {
+          score = std::max(score - cfg.model.score_active_decrement, 0.0);
+        } else {
+          score += cfg.model.score_bias;
+        }
+        if (stake <= cfg.model.ejection_threshold) {
+          ejected = true;
+          stake = 0.0;
+        }
+      }
+      if (t == snapshot_epochs[next_snap]) {
+        res.stakes[next_snap].push_back(stake);
+        if (ejected) res.ejected_fraction[next_snap] += 1.0;
+        if (stake >= cfg.model.initial_stake) {
+          res.capped_fraction[next_snap] += 1.0;
+        }
+        if (stake < factor * sb[next_snap]) {
+          res.prob_beta_exceeds[next_snap] += 1.0;
+        }
+        ++next_snap;
+      }
+    }
+  }
+  const double n = static_cast<double>(cfg.paths);
+  for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
+    res.ejected_fraction[k] /= n;
+    res.capped_fraction[k] /= n;
+    res.prob_beta_exceeds[k] /= n;
+  }
+  return res;
+}
+
+PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
+  PopulationRunResult res;
+  Rng rng(cfg.seed);
+  const std::uint32_t n = cfg.honest_validators;
+  std::vector<double> stake(n, cfg.model.initial_stake);
+  std::vector<double> score(n, 0.0);
+  std::vector<bool> ejected(n, false);
+
+  // Byzantine stake per validator-equivalent; they are semi-active on
+  // branch A (tracked branch), with their own floored discrete dynamics.
+  double byz_stake = cfg.model.initial_stake;
+  double byz_score = 0.0;
+  bool byz_ejected = false;
+
+  for (std::size_t t = 1; t <= cfg.epochs; ++t) {
+    // Honest validators: iid branch assignment (Figure 8).
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (ejected[i]) continue;
+      stake[i] -= score[i] * stake[i] / cfg.model.quotient;
+      const bool active = rng.bernoulli(cfg.p0);
+      if (active) {
+        score[i] = std::max(score[i] - cfg.model.score_active_decrement, 0.0);
+      } else {
+        score[i] += cfg.model.score_bias;
+      }
+      if (stake[i] <= cfg.model.ejection_threshold) {
+        ejected[i] = true;
+        stake[i] = 0.0;
+      }
+    }
+    // Byzantine: semi-active from branch A's viewpoint.
+    if (!byz_ejected) {
+      byz_stake -= byz_score * byz_stake / cfg.model.quotient;
+      const bool active = (t % 2 == 0);
+      if (active) {
+        byz_score = std::max(byz_score - cfg.model.score_active_decrement, 0.0);
+      } else {
+        byz_score += cfg.model.score_bias;
+      }
+      if (byz_stake <= cfg.model.ejection_threshold) {
+        byz_ejected = true;
+        byz_stake = 0.0;
+      }
+    }
+    // Branch-level Byzantine proportion (Eq 23 with population averages).
+    double honest_total = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) honest_total += stake[i];
+    const double honest_mean = honest_total / static_cast<double>(n);
+    const double byz = cfg.beta0 * byz_stake;
+    const double denom = byz + (1.0 - cfg.beta0) * honest_mean;
+    const double beta = denom > 0.0 ? byz / denom : 0.0;
+    if (t % res.stride == 0) res.beta_trajectory.push_back(beta);
+    if (res.first_exceed_epoch < 0 && beta > 1.0 / 3.0 && !byz_ejected) {
+      res.first_exceed_epoch = static_cast<std::int64_t>(t);
+    }
+  }
+  return res;
+}
+
+}  // namespace leak::bouncing

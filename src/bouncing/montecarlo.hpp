@@ -1,0 +1,67 @@
+// Monte Carlo cross-validation of the Section 5.3 analysis: simulate the
+// exact discrete protocol dynamics (Eq 1 with the score floored at zero,
+// Eq 2 penalties, ejection, stake cap) for honest validators randomly
+// re-assigned to a branch every epoch (Figure 8), and measure empirically
+// what the closed-form law of distribution.hpp predicts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analytic/config.hpp"
+#include "src/support/random.hpp"
+
+namespace leak::bouncing {
+
+struct McConfig {
+  double p0 = 0.5;        ///< honest branch-assignment probability
+  double beta0 = 0.33;    ///< Byzantine stake proportion
+  std::size_t paths = 10000;
+  std::size_t epochs = 8000;
+  std::uint64_t seed = 7;
+  analytic::AnalyticConfig model = analytic::AnalyticConfig::paper();
+};
+
+/// Empirical distribution snapshots of one honest validator's stake.
+struct McResult {
+  /// Epoch grid at which snapshots were taken.
+  std::vector<std::size_t> epochs;
+  /// stakes[k][i] = stake of path i at epochs[k] (0 when ejected).
+  std::vector<std::vector<double>> stakes;
+  /// Fraction of paths ejected by epochs[k].
+  std::vector<double> ejected_fraction;
+  /// Fraction of paths still at the cap (score never bit) at epochs[k].
+  std::vector<double> capped_fraction;
+  /// Empirical P[beta(t) > 1/3] at epochs[k] (Eq 23 criterion against
+  /// the semi-active Byzantine stake, one branch).
+  std::vector<double> prob_beta_exceeds;
+};
+
+/// Run the Monte Carlo; `snapshot_epochs` must be ascending and within
+/// [1, cfg.epochs].
+McResult run_bouncing_mc(const McConfig& cfg,
+                         const std::vector<std::size_t>& snapshot_epochs);
+
+/// Finite-population run: N honest validators per path, branch-level
+/// Byzantine proportion measured per epoch on branch A.  Returns the
+/// first epoch where beta exceeded 1/3 (or -1) for each path.
+struct PopulationRunConfig {
+  double p0 = 0.5;
+  double beta0 = 0.33;
+  std::uint32_t honest_validators = 200;
+  std::size_t epochs = 6000;
+  std::uint64_t seed = 11;
+  analytic::AnalyticConfig model = analytic::AnalyticConfig::paper();
+};
+
+struct PopulationRunResult {
+  /// Epoch when beta > 1/3 first held on branch A; -1 when never.
+  std::int64_t first_exceed_epoch = -1;
+  /// beta trajectory on branch A, sampled every `stride` epochs.
+  std::vector<double> beta_trajectory;
+  std::size_t stride = 16;
+};
+
+PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg);
+
+}  // namespace leak::bouncing

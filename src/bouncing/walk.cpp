@@ -1,0 +1,117 @@
+#include "src/bouncing/walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leak::bouncing {
+
+WalkParams WalkParams::paper(double p0) {
+  WalkParams w;
+  w.drift = 1.5;
+  w.diffusion = 25.0 * p0 * (1.0 - p0);
+  return w;
+}
+
+StepMoments step_moments(double p0, double bias, double decrement) {
+  StepMoments m;
+  const double q = 1.0 - p0;  // probability of being inactive
+  m.mean = bias * q - decrement * p0;
+  const double ex2 = bias * bias * q + decrement * decrement * p0;
+  m.variance = ex2 - m.mean * m.mean;
+  return m;
+}
+
+double phi(double score, double t, const WalkParams& params) {
+  if (t <= 0.0) throw std::invalid_argument("phi: t must be > 0");
+  const double var2 = 4.0 * params.diffusion * t;  // paper's 4 D t
+  const double d = score - params.drift * t;
+  return std::exp(-d * d / var2) / std::sqrt(M_PI * var2);
+}
+
+double ScorePmf::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m += p[i] * static_cast<double>(static_cast<long long>(i) + offset);
+  }
+  return m;
+}
+
+double ScorePmf::variance() const {
+  const double m = mean();
+  double v = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double x = static_cast<double>(static_cast<long long>(i) + offset);
+    v += p[i] * (x - m) * (x - m);
+  }
+  return v;
+}
+
+double ScorePmf::prob_at(long long score) const {
+  const long long idx = score - offset;
+  if (idx < 0 || idx >= static_cast<long long>(p.size())) return 0.0;
+  return p[static_cast<std::size_t>(idx)];
+}
+
+double ScorePmf::cdf(long long score) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (static_cast<long long>(i) + offset <= score) acc += p[i];
+  }
+  return acc;
+}
+
+ScorePmf exact_score_pmf(double p0, std::size_t epochs, bool floor_at_zero,
+                         int bias, int decrement) {
+  if (p0 < 0.0 || p0 > 1.0) {
+    throw std::invalid_argument("exact_score_pmf: p0 in [0,1]");
+  }
+  if (bias <= 0 || decrement <= 0) {
+    throw std::invalid_argument("exact_score_pmf: bias/decrement > 0");
+  }
+  const double q = 1.0 - p0;  // step +bias
+  ScorePmf out;
+  if (floor_at_zero) {
+    // Support [0, bias*epochs].
+    const std::size_t n = epochs * static_cast<std::size_t>(bias) + 1;
+    std::vector<double> cur(n, 0.0), next(n, 0.0);
+    cur[0] = 1.0;
+    for (std::size_t t = 0; t < epochs; ++t) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cur[i] == 0.0) continue;
+        const std::size_t up = i + static_cast<std::size_t>(bias);
+        if (up < n) next[up] += cur[i] * q;
+        const long long down = static_cast<long long>(i) - decrement;
+        next[static_cast<std::size_t>(std::max(down, 0LL))] += cur[i] * p0;
+      }
+      std::swap(cur, next);
+    }
+    out.p = std::move(cur);
+    out.offset = 0;
+  } else {
+    // Support [-decrement*epochs, bias*epochs].
+    const long long lo = -static_cast<long long>(epochs) * decrement;
+    const long long hi = static_cast<long long>(epochs) * bias;
+    const std::size_t n = static_cast<std::size_t>(hi - lo) + 1;
+    std::vector<double> cur(n, 0.0), next(n, 0.0);
+    cur[static_cast<std::size_t>(-lo)] = 1.0;  // score 0 at index -lo
+    for (std::size_t t = 0; t < epochs; ++t) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cur[i] == 0.0) continue;
+        const std::size_t up = i + static_cast<std::size_t>(bias);
+        if (up < n) next[up] += cur[i] * q;
+        if (i >= static_cast<std::size_t>(decrement)) {
+          next[i - static_cast<std::size_t>(decrement)] += cur[i] * p0;
+        }
+      }
+      std::swap(cur, next);
+    }
+    out.p = std::move(cur);
+    out.offset = lo;
+  }
+  return out;
+}
+
+}  // namespace leak::bouncing

@@ -1,0 +1,68 @@
+#include "src/chain/attestation_pool.hpp"
+
+#include <algorithm>
+
+namespace leak::chain {
+
+bool AttestationPool::ingest(const Attestation& att,
+                             const crypto::KeyRegistry& keys) {
+  if (!keys.verify(att.signing_root(), att.signature)) return false;
+  const SeenKey key{att.attester, att.slot};
+  if (seen_.contains(key)) return false;
+  seen_.emplace(key, true);
+
+  const AttestationData data = AttestationData::of(att);
+  auto& group = pool_[data];
+  group.agg.data = data;
+  group.agg.signature.add(att.signature);
+  ++count_;
+  return true;
+}
+
+std::optional<AggregatedAttestation> AttestationPool::aggregate_for(
+    const AttestationData& data) const {
+  const auto it = pool_.find(data);
+  if (it == pool_.end()) return std::nullopt;
+  return it->second.agg;
+}
+
+std::vector<AggregatedAttestation> AttestationPool::select_for_block(
+    std::size_t max_count) const {
+  std::vector<AggregatedAttestation> all;
+  all.reserve(pool_.size());
+  for (const auto& [data, group] : pool_) all.push_back(group.agg);
+  std::sort(all.begin(), all.end(),
+            [](const AggregatedAttestation& a,
+               const AggregatedAttestation& b) {
+              if (a.participation() != b.participation()) {
+                return a.participation() > b.participation();
+              }
+              return a.data.slot < b.data.slot;
+            });
+  if (all.size() > max_count) all.resize(max_count);
+  return all;
+}
+
+std::size_t AttestationPool::prune_before(Slot cutoff) {
+  std::size_t removed = 0;
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if (it->first.slot < cutoff) {
+      count_ -= it->second.agg.participation();
+      it = pool_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  // Seen-set entries for pruned slots can be dropped as well.
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (it->first.slot < cutoff) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace leak::chain

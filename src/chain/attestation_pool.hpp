@@ -1,0 +1,102 @@
+// Attestation aggregation pool.
+//
+// Ethereum gossips individual attestations, aggregates those sharing
+// the same attestation data (slot, head, source, target) into one
+// aggregate signature, and proposers pick the best aggregates to
+// include in blocks.  This pool mirrors that pipeline: ingest, group by
+// data, aggregate, select for inclusion, prune by slot age.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chain/block.hpp"
+#include "src/crypto/keys.hpp"
+
+namespace leak::chain {
+
+/// The data shared by every attestation in one aggregate.
+struct AttestationData {
+  Slot slot{};
+  Digest head{};
+  Checkpoint source{};
+  Checkpoint target{};
+
+  friend bool operator==(const AttestationData&,
+                         const AttestationData&) = default;
+
+  [[nodiscard]] static AttestationData of(const Attestation& a) {
+    return AttestationData{a.slot, a.head, a.source, a.target};
+  }
+};
+
+struct AttestationDataHash {
+  std::size_t operator()(const AttestationData& d) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(d.slot.value());
+    h ^= DigestHash{}(d.head) + 0x9e3779b97f4a7c15ULL + (h << 6);
+    h ^= CheckpointHash{}(d.source) + (h >> 2);
+    h ^= CheckpointHash{}(d.target) + (h << 3);
+    return h;
+  }
+};
+
+/// An aggregate: shared data plus the collected signers.
+struct AggregatedAttestation {
+  AttestationData data{};
+  crypto::AggregateSignature signature;
+
+  [[nodiscard]] std::size_t participation() const {
+    return signature.count();
+  }
+};
+
+/// The pool.
+class AttestationPool {
+ public:
+  /// Ingest one attestation; signatures are verified against the
+  /// registry and invalid ones rejected.  Returns whether it was added
+  /// (false for duplicates or bad signatures).
+  bool ingest(const Attestation& att, const crypto::KeyRegistry& keys);
+
+  /// Number of distinct attestation-data groups currently pooled.
+  [[nodiscard]] std::size_t groups() const { return pool_.size(); }
+  /// Total attestations pooled.
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// The aggregate for a specific data, if any.
+  [[nodiscard]] std::optional<AggregatedAttestation> aggregate_for(
+      const AttestationData& data) const;
+
+  /// Select up to `max_count` aggregates for block inclusion, highest
+  /// participation first (ties broken by older slot first).
+  [[nodiscard]] std::vector<AggregatedAttestation> select_for_block(
+      std::size_t max_count) const;
+
+  /// Drop all groups with slot < cutoff (inclusion window expiry).
+  /// Returns the number of groups removed.
+  std::size_t prune_before(Slot cutoff);
+
+ private:
+  struct Group {
+    AggregatedAttestation agg;
+  };
+  std::unordered_map<AttestationData, Group, AttestationDataHash> pool_;
+  /// (attester, slot) pairs already accepted, to reject duplicates.
+  struct SeenKey {
+    ValidatorIndex v{};
+    Slot slot{};
+    friend bool operator==(const SeenKey&, const SeenKey&) = default;
+  };
+  struct SeenKeyHash {
+    std::size_t operator()(const SeenKey& k) const noexcept {
+      return std::hash<std::uint32_t>{}(k.v.value()) ^
+             (std::hash<std::uint64_t>{}(k.slot.value()) << 1);
+    }
+  };
+  std::unordered_map<SeenKey, bool, SeenKeyHash> seen_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace leak::chain

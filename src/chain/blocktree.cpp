@@ -1,0 +1,95 @@
+#include "src/chain/blocktree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leak::chain {
+
+const std::vector<Digest> BlockTree::kNoChildren{};
+
+BlockTree::BlockTree() {
+  Block g = Block::make(Digest{}, Slot{0}, ValidatorIndex{0});
+  genesis_id_ = g.id;
+  blocks_.emplace(g.id, g);
+}
+
+bool BlockTree::insert(const Block& b) {
+  if (blocks_.contains(b.id)) return false;
+  const auto parent_it = blocks_.find(b.parent);
+  if (parent_it == blocks_.end()) {
+    throw std::invalid_argument("BlockTree::insert: unknown parent");
+  }
+  if (b.slot <= parent_it->second.slot) {
+    throw std::invalid_argument("BlockTree::insert: slot not increasing");
+  }
+  blocks_.emplace(b.id, b);
+  children_[b.parent].push_back(b.id);
+  return true;
+}
+
+bool BlockTree::contains(const Digest& id) const {
+  return blocks_.contains(id);
+}
+
+const Block& BlockTree::at(const Digest& id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    throw std::out_of_range("BlockTree::at: unknown block");
+  }
+  return it->second;
+}
+
+const std::vector<Digest>& BlockTree::children(const Digest& id) const {
+  const auto it = children_.find(id);
+  return it == children_.end() ? kNoChildren : it->second;
+}
+
+bool BlockTree::is_ancestor(const Digest& ancestor,
+                            const Digest& descendant) const {
+  Digest cur = descendant;
+  const Slot target_slot = at(ancestor).slot;
+  while (true) {
+    if (cur == ancestor) return true;
+    const Block& b = at(cur);
+    if (b.slot <= target_slot) return false;
+    if (cur == genesis_id_) return false;
+    cur = b.parent;
+  }
+}
+
+Digest BlockTree::ancestor_at_slot(const Digest& id, Slot slot) const {
+  Digest cur = id;
+  while (at(cur).slot > slot) {
+    if (cur == genesis_id_) break;
+    cur = at(cur).parent;
+  }
+  return cur;
+}
+
+std::vector<Digest> BlockTree::chain_to(const Digest& id) const {
+  std::vector<Digest> out;
+  Digest cur = id;
+  while (true) {
+    out.push_back(cur);
+    if (cur == genesis_id_) break;
+    cur = at(cur).parent;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Digest> BlockTree::leaves() const {
+  std::vector<Digest> out;
+  for (const auto& [id, block] : blocks_) {
+    const auto it = children_.find(id);
+    if (it == children_.end() || it->second.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+Checkpoint BlockTree::checkpoint_on_branch(const Digest& head,
+                                           Epoch epoch) const {
+  return Checkpoint{ancestor_at_slot(head, epoch.start_slot()), epoch};
+}
+
+}  // namespace leak::chain

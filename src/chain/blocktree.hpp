@@ -1,0 +1,62 @@
+// The local tree of blocks every validator maintains (Section 2 of the
+// paper: "a local data structure in form of a tree containing all the
+// blocks perceived").
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chain/block.hpp"
+
+namespace leak::chain {
+
+/// Append-only block tree rooted at a genesis block.
+class BlockTree {
+ public:
+  /// Create a tree with a genesis block at slot 0.
+  BlockTree();
+
+  [[nodiscard]] const Block& genesis() const { return at(genesis_id_); }
+  [[nodiscard]] const Digest& genesis_id() const { return genesis_id_; }
+
+  /// Insert a block.  The parent must already be known and have a lower
+  /// slot.  Returns false (no-op) when the block is already present;
+  /// throws on an unknown parent or non-increasing slot.
+  bool insert(const Block& b);
+
+  [[nodiscard]] bool contains(const Digest& id) const;
+  [[nodiscard]] const Block& at(const Digest& id) const;
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+  /// All children of a block, in insertion order.
+  [[nodiscard]] const std::vector<Digest>& children(const Digest& id) const;
+
+  /// Is `ancestor` on the path from `descendant` to genesis (inclusive)?
+  [[nodiscard]] bool is_ancestor(const Digest& ancestor,
+                                 const Digest& descendant) const;
+
+  /// The ancestor of `id` with the highest slot <= `slot` (used to find
+  /// the epoch-boundary block for checkpoints).
+  [[nodiscard]] Digest ancestor_at_slot(const Digest& id, Slot slot) const;
+
+  /// Chain from genesis to `id` (inclusive), genesis first.
+  [[nodiscard]] std::vector<Digest> chain_to(const Digest& id) const;
+
+  /// Blocks without children.
+  [[nodiscard]] std::vector<Digest> leaves() const;
+
+  /// The epoch-boundary checkpoint for `epoch` on the branch ending at
+  /// `head`: the block of the first slot of the epoch or, when that slot
+  /// was empty, the latest ancestor before it.
+  [[nodiscard]] Checkpoint checkpoint_on_branch(const Digest& head,
+                                                Epoch epoch) const;
+
+ private:
+  std::unordered_map<Digest, Block, DigestHash> blocks_;
+  std::unordered_map<Digest, std::vector<Digest>, DigestHash> children_;
+  Digest genesis_id_{};
+  static const std::vector<Digest> kNoChildren;
+};
+
+}  // namespace leak::chain

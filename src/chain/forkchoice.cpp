@@ -1,0 +1,76 @@
+#include "src/chain/forkchoice.hpp"
+
+namespace leak::chain {
+
+ForkChoice::ForkChoice(const BlockTree& tree,
+                       const ValidatorRegistry& registry)
+    : tree_(tree), registry_(registry) {}
+
+void ForkChoice::on_attestation(ValidatorIndex v, const Digest& block,
+                                Slot slot) {
+  const auto it = votes_.find(v);
+  if (it != votes_.end() && it->second.slot >= slot) return;
+  votes_[v] = Vote{block, slot};
+}
+
+std::optional<Digest> ForkChoice::latest_vote(ValidatorIndex v) const {
+  const auto it = votes_.find(v);
+  if (it == votes_.end()) return std::nullopt;
+  return it->second.block;
+}
+
+Gwei ForkChoice::subtree_weight(const Digest& root, Epoch e) const {
+  Gwei total{};
+  for (const auto& [v, vote] : votes_) {
+    if (!registry_.is_active(v, e)) continue;
+    // Equivocation discounting: slashed validators' latest messages no
+    // longer count toward fork choice.
+    if (registry_.at(v).slashed) continue;
+    // Votes for blocks this view has not received yet weigh nothing
+    // (the attestation can arrive before the block it points at).
+    if (!tree_.contains(vote.block)) continue;
+    if (tree_.is_ancestor(root, vote.block)) {
+      total += registry_.at(v).balance;
+    }
+  }
+  // Proposer boost: the current slot's timely proposal pulls extra
+  // weight into every subtree that contains it.
+  if (boosted_block_ && tree_.contains(*boosted_block_) &&
+      tree_.is_ancestor(root, *boosted_block_)) {
+    const Gwei active = registry_.total_active_balance(e);
+    total += Gwei{active.value() * boost_percent_ / 100};
+  }
+  return total;
+}
+
+void ForkChoice::set_proposer_boost(const Digest& block, unsigned percent) {
+  boosted_block_ = block;
+  boost_percent_ = percent;
+}
+
+void ForkChoice::clear_proposer_boost() {
+  boosted_block_.reset();
+  boost_percent_ = 0;
+}
+
+Digest ForkChoice::head(const Digest& justified_root, Epoch e) const {
+  Digest cur = justified_root;
+  while (true) {
+    const auto& kids = tree_.children(cur);
+    if (kids.empty()) return cur;
+    // Pick the heaviest child; break ties by block id for determinism
+    // across validators (the real protocol also has a deterministic rule).
+    Digest best = kids.front();
+    Gwei best_w = subtree_weight(best, e);
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      const Gwei w = subtree_weight(kids[i], e);
+      if (w > best_w || (w == best_w && kids[i] < best)) {
+        best = kids[i];
+        best_w = w;
+      }
+    }
+    cur = best;
+  }
+}
+
+}  // namespace leak::chain

@@ -1,0 +1,66 @@
+// Validator registry: stake, inactivity score, slashing and exit status.
+// This is the protocol-level (integer Gwei) state the penalty engine
+// mutates; the analytic module mirrors it with continuous functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace leak::chain {
+
+/// Per-validator record.
+struct ValidatorRecord {
+  Gwei balance{};
+  std::uint64_t inactivity_score = 0;
+  bool slashed = false;
+  /// Epoch at which the validator exited (ejection or slashing);
+  /// kNeverExited while active.
+  std::uint64_t exit_epoch = kNeverExited;
+
+  static constexpr std::uint64_t kNeverExited = ~0ULL;
+
+  [[nodiscard]] bool exited_by(Epoch e) const {
+    return exit_epoch <= e.value();
+  }
+};
+
+/// The registry.  Balances default to 32 ETH.
+class ValidatorRegistry {
+ public:
+  explicit ValidatorRegistry(std::uint32_t n,
+                             Gwei initial = Gwei::from_eth(kInitialStakeEth));
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(records_.size());
+  }
+
+  [[nodiscard]] ValidatorRecord& at(ValidatorIndex v);
+  [[nodiscard]] const ValidatorRecord& at(ValidatorIndex v) const;
+
+  /// Is the validator in the active set at epoch e (not exited)?
+  [[nodiscard]] bool is_active(ValidatorIndex v, Epoch e) const;
+
+  /// Total balance of validators active at epoch e.
+  [[nodiscard]] Gwei total_active_balance(Epoch e) const;
+
+  /// Sum of balances over an arbitrary predicate.
+  template <typename Pred>
+  [[nodiscard]] Gwei balance_where(Pred pred) const {
+    Gwei total{};
+    for (std::uint32_t i = 0; i < size(); ++i) {
+      const ValidatorIndex v{i};
+      if (pred(v, records_[i])) total += records_[i].balance;
+    }
+    return total;
+  }
+
+  /// Mark exit (ejection / slashing exit) at the given epoch.
+  void eject(ValidatorIndex v, Epoch at);
+
+ private:
+  std::vector<ValidatorRecord> records_;
+};
+
+}  // namespace leak::chain

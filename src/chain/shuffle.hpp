@@ -1,0 +1,64 @@
+// Validator shuffling and duty assignment.
+//
+// Implements the consensus spec's swap-or-not shuffle
+// (`compute_shuffled_index`), seeded committee assignment (every
+// validator attests exactly once per epoch, spread over the 32 slots)
+// and balance-weighted proposer selection
+// (`compute_proposer_index`-style rejection sampling on effective
+// balance).  The protocol's pseudo-random duty assignment is what makes
+// the bouncing attack probabilistic: the adversary needs one of its own
+// validators among the first j proposers of each epoch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/chain/registry.hpp"
+#include "src/crypto/sha256.hpp"
+
+namespace leak::chain {
+
+/// Spec: compute_shuffled_index(index, index_count, seed) — the
+/// swap-or-not network with kShuffleRounds rounds.
+inline constexpr int kShuffleRounds = 90;
+
+[[nodiscard]] std::uint64_t shuffled_index(std::uint64_t index,
+                                           std::uint64_t index_count,
+                                           const crypto::Digest& seed,
+                                           int rounds = kShuffleRounds);
+
+/// Full permutation of [0, n) under the shuffle (for tests and
+/// committee construction); O(n * rounds).
+[[nodiscard]] std::vector<std::uint64_t> shuffle_list(
+    std::uint64_t n, const crypto::Digest& seed,
+    int rounds = kShuffleRounds);
+
+/// Epoch duties: committee per slot and proposer per slot.
+class DutyRoster {
+ public:
+  /// Build the roster for `epoch` over the active validators of
+  /// `registry` with a protocol seed.
+  DutyRoster(const ValidatorRegistry& registry, Epoch epoch,
+             std::uint64_t base_seed);
+
+  /// Validators attesting at slot (epoch_start + position).
+  [[nodiscard]] const std::vector<ValidatorIndex>& committee(
+      std::uint64_t position) const;
+
+  /// The proposer of slot (epoch_start + position), selected by
+  /// balance-weighted rejection sampling over the shuffled order.
+  [[nodiscard]] ValidatorIndex proposer(std::uint64_t position) const;
+
+  /// Slot position at which a validator attests this epoch.
+  [[nodiscard]] std::uint64_t committee_position_of(ValidatorIndex v) const;
+
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+
+ private:
+  std::vector<ValidatorIndex> active_;
+  std::vector<std::vector<ValidatorIndex>> committees_;
+  std::vector<ValidatorIndex> proposers_;
+  std::vector<std::uint64_t> position_of_;  // by validator index
+};
+
+}  // namespace leak::chain

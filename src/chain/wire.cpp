@@ -1,0 +1,77 @@
+#include "src/chain/wire.hpp"
+
+namespace leak::chain {
+
+namespace {
+
+void put_checkpoint(codec::Writer& w, const Checkpoint& c) {
+  w.put_array(c.block);
+  w.put_u64(c.epoch.value());
+}
+
+bool get_checkpoint(codec::Reader& r, Checkpoint& c) {
+  std::uint64_t e = 0;
+  if (!r.get_array(c.block)) return false;
+  if (!r.get_u64(e)) return false;
+  c.epoch = Epoch{e};
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_block(const Block& b) {
+  codec::Writer w;
+  w.put_array(b.parent);
+  w.put_u64(b.slot.value());
+  w.put_u32(b.proposer.value());
+  w.put_array(b.body_root);
+  return w.bytes();
+}
+
+std::optional<Block> decode_block(std::span<const std::uint8_t> bytes) {
+  codec::Reader r(bytes);
+  crypto::Digest parent{}, body{};
+  std::uint64_t slot = 0;
+  std::uint32_t proposer = 0;
+  if (!r.get_array(parent)) return std::nullopt;
+  if (!r.get_u64(slot)) return std::nullopt;
+  if (!r.get_u32(proposer)) return std::nullopt;
+  if (!r.get_array(body)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
+  // Recompute the content-addressed id rather than trusting the wire.
+  return Block::make(parent, Slot{slot}, ValidatorIndex{proposer}, body);
+}
+
+std::vector<std::uint8_t> encode_attestation(const Attestation& a) {
+  codec::Writer w;
+  w.put_u32(a.attester.value());
+  w.put_u64(a.slot.value());
+  w.put_array(a.head);
+  put_checkpoint(w, a.source);
+  put_checkpoint(w, a.target);
+  w.put_array(a.signature.mac);
+  w.put_u32(a.signature.signer.value());
+  return w.bytes();
+}
+
+std::optional<Attestation> decode_attestation(
+    std::span<const std::uint8_t> bytes) {
+  codec::Reader r(bytes);
+  Attestation a;
+  std::uint32_t attester = 0, signer = 0;
+  std::uint64_t slot = 0;
+  if (!r.get_u32(attester)) return std::nullopt;
+  if (!r.get_u64(slot)) return std::nullopt;
+  if (!r.get_array(a.head)) return std::nullopt;
+  if (!get_checkpoint(r, a.source)) return std::nullopt;
+  if (!get_checkpoint(r, a.target)) return std::nullopt;
+  if (!r.get_array(a.signature.mac)) return std::nullopt;
+  if (!r.get_u32(signer)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
+  a.attester = ValidatorIndex{attester};
+  a.slot = Slot{slot};
+  a.signature.signer = ValidatorIndex{signer};
+  return a;
+}
+
+}  // namespace leak::chain

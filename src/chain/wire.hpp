@@ -1,0 +1,27 @@
+// Wire encoding of chain messages (blocks, attestations) on top of the
+// SSZ-lite codec: deterministic round-trip serialization with
+// signature preservation, for gossip transport and persistence.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/chain/block.hpp"
+#include "src/support/codec.hpp"
+
+namespace leak::chain {
+
+/// Serialize a block (id is recomputed on decode, not trusted).
+[[nodiscard]] std::vector<std::uint8_t> encode_block(const Block& b);
+/// Decode; nullopt on truncated/trailing input.
+[[nodiscard]] std::optional<Block> decode_block(
+    std::span<const std::uint8_t> bytes);
+
+/// Serialize an attestation, signature included.
+[[nodiscard]] std::vector<std::uint8_t> encode_attestation(
+    const Attestation& a);
+[[nodiscard]] std::optional<Attestation> decode_attestation(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace leak::chain

@@ -1,0 +1,58 @@
+#include "src/crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace leak::crypto {
+
+namespace {
+
+std::vector<Digest> next_layer(const std::vector<Digest>& layer) {
+  std::vector<Digest> out;
+  out.reserve((layer.size() + 1) / 2);
+  for (std::size_t i = 0; i < layer.size(); i += 2) {
+    const Digest& left = layer[i];
+    const Digest& right = (i + 1 < layer.size()) ? layer[i + 1] : layer[i];
+    out.push_back(sha256_pair(left, right));
+  }
+  return out;
+}
+
+}  // namespace
+
+Digest merkle_root(const std::vector<Digest>& leaves) {
+  if (leaves.empty()) return sha256(std::string_view{});
+  std::vector<Digest> layer = leaves;
+  while (layer.size() > 1) layer = next_layer(layer);
+  return layer.front();
+}
+
+MerkleProof merkle_prove(const std::vector<Digest>& leaves,
+                         std::size_t index) {
+  if (index >= leaves.size()) {
+    throw std::out_of_range("merkle_prove: index out of range");
+  }
+  MerkleProof proof;
+  proof.index = index;
+  std::vector<Digest> layer = leaves;
+  std::size_t i = index;
+  while (layer.size() > 1) {
+    const std::size_t sib = (i % 2 == 0) ? std::min(i + 1, layer.size() - 1) : i - 1;
+    proof.siblings.push_back(layer[sib]);
+    layer = next_layer(layer);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Digest& leaf, const MerkleProof& proof,
+                   const Digest& root) {
+  Digest acc = leaf;
+  std::size_t i = proof.index;
+  for (const Digest& sib : proof.siblings) {
+    acc = (i % 2 == 0) ? sha256_pair(acc, sib) : sha256_pair(sib, acc);
+    i /= 2;
+  }
+  return acc == root;
+}
+
+}  // namespace leak::crypto

@@ -1,0 +1,29 @@
+// Merkle root over a list of digests, with inclusion proofs.  Used for
+// content-addressing batches of attestations in blocks.
+#pragma once
+
+#include <vector>
+
+#include "src/crypto/sha256.hpp"
+
+namespace leak::crypto {
+
+/// Compute the Merkle root of `leaves`.  An empty list hashes to the
+/// digest of the empty string; odd layers duplicate the last element.
+[[nodiscard]] Digest merkle_root(const std::vector<Digest>& leaves);
+
+/// An inclusion proof: sibling hashes bottom-up plus the leaf index.
+struct MerkleProof {
+  std::size_t index = 0;
+  std::vector<Digest> siblings;
+};
+
+/// Build the proof for leaf `index`.
+[[nodiscard]] MerkleProof merkle_prove(const std::vector<Digest>& leaves,
+                                       std::size_t index);
+
+/// Verify a proof against a root.
+[[nodiscard]] bool merkle_verify(const Digest& leaf, const MerkleProof& proof,
+                                 const Digest& root);
+
+}  // namespace leak::crypto

@@ -1,0 +1,23 @@
+#include "src/finality/safety.hpp"
+
+namespace leak::finality {
+
+SafetyMonitor::SafetyMonitor(const chain::BlockTree& tree) : tree_(tree) {}
+
+std::optional<SafetyViolation> SafetyMonitor::report(const Checkpoint& c) {
+  for (const Checkpoint& prev : reported_) {
+    if (prev.block == c.block) continue;
+    const bool compatible = tree_.is_ancestor(prev.block, c.block) ||
+                            tree_.is_ancestor(c.block, prev.block);
+    if (!compatible) {
+      SafetyViolation v{prev, c};
+      if (!violation_) violation_ = v;
+      reported_.push_back(c);
+      return v;
+    }
+  }
+  reported_.push_back(c);
+  return std::nullopt;
+}
+
+}  // namespace leak::finality

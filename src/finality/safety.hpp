@@ -1,0 +1,44 @@
+// Safety monitor: detects conflicting finalization across validator (or
+// branch) views — the paper's Safety-loss outcome (1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/chain/blocktree.hpp"
+#include "src/finality/ffg.hpp"
+
+namespace leak::finality {
+
+/// A detected safety violation: two finalized checkpoints on divergent
+/// branches (neither block is an ancestor of the other).
+struct SafetyViolation {
+  Checkpoint a{};
+  Checkpoint b{};
+};
+
+/// Collects finalized checkpoints reported by any view and checks the
+/// prefix property (Property 4 of the paper) against the block tree.
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(const chain::BlockTree& tree);
+
+  /// Report a finalized checkpoint; returns a violation if this
+  /// checkpoint conflicts with any previously reported one.
+  std::optional<SafetyViolation> report(const Checkpoint& c);
+
+  [[nodiscard]] bool violated() const { return violation_.has_value(); }
+  [[nodiscard]] const std::optional<SafetyViolation>& violation() const {
+    return violation_;
+  }
+  [[nodiscard]] const std::vector<Checkpoint>& reported() const {
+    return reported_;
+  }
+
+ private:
+  const chain::BlockTree& tree_;
+  std::vector<Checkpoint> reported_;
+  std::optional<SafetyViolation> violation_;
+};
+
+}  // namespace leak::finality

@@ -1,0 +1,47 @@
+#include "src/net/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace leak::net {
+
+void EventQueue::schedule_at(SimTime t, Action action) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  queue_.push(Entry{t, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Action action) {
+  if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::size_t EventQueue::run_until(SimTime limit) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    // Copy out before pop so the action may schedule more events.
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.action();
+    ++executed;
+  }
+  if (now_ < limit) now_ = limit;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.action();
+    ++executed;
+  }
+  return executed;
+}
+
+void EventQueue::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace leak::net

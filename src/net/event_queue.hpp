@@ -1,0 +1,60 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+// Deterministic: ties in time are broken by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace leak::net {
+
+/// Discrete-event scheduler.  Owns simulated time.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute time `t` (>= now).  Events scheduled at
+  /// equal times run in scheduling order.
+  void schedule_at(SimTime t, Action action);
+
+  /// Schedule `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action);
+
+  /// Run events until the queue is empty or `limit` is passed.  Events at
+  /// exactly `limit` are executed.  Returns the number of events run.
+  std::size_t run_until(SimTime limit);
+
+  /// Run everything (careful with self-perpetuating schedules).
+  std::size_t run_all();
+
+  /// Pending event count.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Drop all pending events (used when tearing a scenario down).
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace leak::net

@@ -1,0 +1,70 @@
+#include "src/net/gossip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leak::net {
+
+GossipNetwork::GossipNetwork(EventQueue& queue, GossipConfig config)
+    : queue_(queue), config_(config), rng_(config.seed) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("GossipNetwork: num_nodes must be > 0");
+  }
+  if (config_.fanout == 0) {
+    throw std::invalid_argument("GossipNetwork: fanout must be > 0");
+  }
+  // Static random mesh: every node picks `fanout` distinct peers.
+  mesh_.resize(config_.num_nodes);
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    std::unordered_set<std::uint32_t> picked;
+    const std::uint32_t want =
+        std::min(config_.fanout, config_.num_nodes - 1);
+    while (picked.size() < want) {
+      const auto j = static_cast<std::uint32_t>(
+          rng_.uniform_index(config_.num_nodes));
+      if (j != i) picked.insert(j);
+    }
+    for (const auto j : picked) mesh_[i].push_back(ValidatorIndex{j});
+    std::sort(mesh_[i].begin(), mesh_[i].end());
+  }
+}
+
+const std::vector<ValidatorIndex>& GossipNetwork::peers(
+    ValidatorIndex node) const {
+  return mesh_.at(node.value());
+}
+
+std::size_t GossipNetwork::reach(std::uint64_t payload_id) const {
+  const auto it = seen_.find(payload_id);
+  return it == seen_.end() ? 0 : it->second.size();
+}
+
+void GossipNetwork::publish(ValidatorIndex origin,
+                            std::uint64_t payload_id) {
+  receive(origin, payload_id);
+}
+
+void GossipNetwork::receive(ValidatorIndex node, std::uint64_t payload_id) {
+  auto& seen = seen_[payload_id];
+  if (!seen.insert(node.value()).second) return;  // duplicate
+  if (handler_) handler_(node, payload_id);
+  forward(node, payload_id);
+}
+
+void GossipNetwork::forward(ValidatorIndex from, std::uint64_t payload_id) {
+  for (const ValidatorIndex peer : mesh_.at(from.value())) {
+    if (link_filter_ && !link_filter_(from, peer)) continue;
+    // Suppress hops to peers that already saw it *at send time*; late
+    // duplicates are still filtered at receive().
+    const auto& seen = seen_[payload_id];
+    if (seen.contains(peer.value())) continue;
+    ++hops_;
+    const double delay =
+        rng_.uniform(config_.min_hop_delay, config_.max_hop_delay);
+    queue_.schedule_in(delay, [this, peer, payload_id] {
+      receive(peer, payload_id);
+    });
+  }
+}
+
+}  // namespace leak::net

@@ -1,0 +1,86 @@
+#include "src/net/network.hpp"
+
+#include <stdexcept>
+
+namespace leak::net {
+
+Network::Network(EventQueue& queue, NetworkConfig config)
+    : queue_(queue),
+      config_(config),
+      regions_(config.num_nodes, Region::kOne),
+      rng_(config.seed) {
+  if (config.num_nodes == 0) {
+    throw std::invalid_argument("Network: num_nodes must be > 0");
+  }
+  if (config.min_delay < 0 || config.delta < config.min_delay) {
+    throw std::invalid_argument("Network: need 0 <= min_delay <= delta");
+  }
+}
+
+void Network::set_region(ValidatorIndex v, Region r) {
+  regions_.at(v.value()) = r;
+}
+
+Region Network::region(ValidatorIndex v) const {
+  return regions_.at(v.value());
+}
+
+bool Network::reachable(ValidatorIndex src, ValidatorIndex dst) const {
+  if (queue_.now() >= config_.gst) return true;
+  const Region a = regions_.at(src.value());
+  const Region b = regions_.at(dst.value());
+  if (a == Region::kBoth || b == Region::kBoth) return true;
+  return a == b;
+}
+
+double Network::jitter() {
+  return rng_.uniform(config_.min_delay, config_.delta);
+}
+
+void Network::deliver_later(SimTime when, ValidatorIndex to, Packet p) {
+  queue_.schedule_at(when, [this, to, p] {
+    ++delivered_;
+    if (deliver_) deliver_(to, p);
+  });
+}
+
+void Network::broadcast(ValidatorIndex from, std::uint64_t payload_id) {
+  ++sent_;
+  const Packet p{from, payload_id};
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    const ValidatorIndex to{i};
+    if (reachable(from, to)) {
+      deliver_later(queue_.now() + jitter(), to, p);
+    } else {
+      // Best-effort broadcast: messages sent before GST arrive at most at
+      // GST + Delta once the partition heals.
+      deliver_later(config_.gst + jitter(), to, p);
+    }
+  }
+}
+
+void Network::unicast(ValidatorIndex from, ValidatorIndex to,
+                      std::uint64_t payload_id) {
+  ++sent_;
+  const Packet p{from, payload_id};
+  if (reachable(from, to)) {
+    deliver_later(queue_.now() + jitter(), to, p);
+  } else {
+    deliver_later(config_.gst + jitter(), to, p);
+  }
+}
+
+void Network::release_at(SimTime when, ValidatorIndex from,
+                         const std::vector<ValidatorIndex>& audience,
+                         std::uint64_t payload_id) {
+  if (when < queue_.now()) {
+    throw std::invalid_argument("release_at: time in the past");
+  }
+  ++sent_;
+  const Packet p{from, payload_id};
+  for (ValidatorIndex to : audience) {
+    deliver_later(when, to, p);
+  }
+}
+
+}  // namespace leak::net

@@ -1,0 +1,101 @@
+// Partial-synchrony network with a two-region partition, following the
+// paper's system model (Section 2):
+//
+//  * best-effort broadcast between validators;
+//  * before GST the two honest regions cannot reach each other, while
+//    communication *within* a region keeps the synchronous delay bound;
+//  * after GST every message is delivered within the known bound Delta
+//    (messages sent before GST arrive by GST + Delta);
+//  * Byzantine validators are connected to both regions at all times and
+//    may deliberately withhold messages, releasing them later to chosen
+//    audiences (the bouncing attack's key capability).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/net/event_queue.hpp"
+#include "src/support/random.hpp"
+#include "src/support/types.hpp"
+
+namespace leak::net {
+
+/// Which side of the partition a node lives on.  Byzantine nodes are
+/// kBoth: they straddle the partition.
+enum class Region : std::uint8_t { kOne = 0, kTwo = 1, kBoth = 2 };
+
+/// An opaque message: payload identifier plus sender.  Higher layers map
+/// `payload_id` back to real content (attestations, blocks).
+struct Packet {
+  ValidatorIndex from{};
+  std::uint64_t payload_id = 0;
+};
+
+/// Delivery callback: (recipient, packet, delivery time).
+using DeliverFn = std::function<void(ValidatorIndex, const Packet&)>;
+
+/// Configuration of the network model.
+struct NetworkConfig {
+  std::uint32_t num_nodes = 0;
+  /// Synchronous-period delay bound Delta, seconds.
+  double delta = 1.0;
+  /// Minimum propagation delay, seconds.
+  double min_delay = 0.05;
+  /// Global Stabilization Time (seconds); before it the partition holds.
+  SimTime gst = 0.0;
+  /// RNG seed for per-message jitter.
+  std::uint64_t seed = 42;
+};
+
+/// The simulated network.  All sends are best-effort broadcast or unicast
+/// with per-message uniform jitter in [min_delay, delta].
+class Network {
+ public:
+  Network(EventQueue& queue, NetworkConfig config);
+
+  /// Assign a node to a region (default: everyone in region one).
+  void set_region(ValidatorIndex v, Region r);
+  [[nodiscard]] Region region(ValidatorIndex v) const;
+
+  /// Register the single delivery sink (the simulation dispatch).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Whether src can currently reach dst (partition rules + GST).
+  [[nodiscard]] bool reachable(ValidatorIndex src, ValidatorIndex dst) const;
+
+  /// Broadcast to every node (including self, like gossip loopback).
+  /// Unreachable recipients get the message at GST + jitter instead of
+  /// now + jitter — best-effort broadcast across the healed partition.
+  void broadcast(ValidatorIndex from, std::uint64_t payload_id);
+
+  /// Send to one recipient; dropped silently if never reachable.
+  void unicast(ValidatorIndex from, ValidatorIndex to,
+               std::uint64_t payload_id);
+
+  /// Byzantine capability: deliver a payload to an explicit audience at an
+  /// exact future time (releasing withheld attestations).  Ignores
+  /// partition rules: the adversary straddles both regions.
+  void release_at(SimTime when, ValidatorIndex from,
+                  const std::vector<ValidatorIndex>& audience,
+                  std::uint64_t payload_id);
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  void deliver_later(SimTime when, ValidatorIndex to, Packet p);
+  [[nodiscard]] double jitter();
+
+  EventQueue& queue_;
+  NetworkConfig config_;
+  std::vector<Region> regions_;
+  DeliverFn deliver_;
+  Rng rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace leak::net

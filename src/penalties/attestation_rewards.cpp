@@ -1,0 +1,68 @@
+#include "src/penalties/attestation_rewards.hpp"
+
+namespace leak::penalties {
+
+std::uint64_t integer_sqrt(std::uint64_t n) {
+  if (n == 0) return 0;
+  std::uint64_t x = n;
+  // (x + 1) / 2 without overflowing at x == 2^64 - 1.
+  std::uint64_t y = x / 2 + (x & 1);
+  while (y < x) {
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  return x;
+}
+
+AttestationRewards::AttestationRewards(
+    const chain::ValidatorRegistry& registry, RewardWeights weights)
+    : registry_(registry), weights_(weights) {}
+
+Gwei AttestationRewards::base_reward(ValidatorIndex v, Epoch e) const {
+  const auto total = registry_.total_active_balance(e).value();
+  if (total == 0) return Gwei{};
+  const auto eff = registry_.at(v).balance.value();
+  const auto sqrt_total = integer_sqrt(total);
+  if (sqrt_total == 0) return Gwei{};
+  return Gwei{eff * kBaseRewardFactor / sqrt_total / kBaseRewardsPerEpoch};
+}
+
+std::int64_t AttestationRewards::net_delta(ValidatorIndex v, Epoch e,
+                                           const Participation& p,
+                                           bool in_leak) const {
+  const auto base = static_cast<std::int64_t>(base_reward(v, e).value());
+  const auto den = static_cast<std::int64_t>(weights_.denominator);
+  std::int64_t delta = 0;
+  const auto component = [&](bool timely, std::uint64_t weight) {
+    const std::int64_t share =
+        base * static_cast<std::int64_t>(weight) / den;
+    if (timely) {
+      if (!in_leak) delta += share;  // rewards suppressed during a leak
+    } else {
+      delta -= share;  // penalties always apply
+    }
+  };
+  component(p.attested && p.timely_source, weights_.source);
+  component(p.attested && p.timely_target, weights_.target);
+  // Head votes are rewarded but (per Altair) not penalized when missed.
+  if (p.attested && p.timely_head && !in_leak) {
+    delta += base * static_cast<std::int64_t>(weights_.head) / den;
+  }
+  return delta;
+}
+
+std::int64_t AttestationRewards::apply(chain::ValidatorRegistry& registry,
+                                       ValidatorIndex v, Epoch e,
+                                       const Participation& p,
+                                       bool in_leak) const {
+  const std::int64_t delta = net_delta(v, e, p, in_leak);
+  auto& rec = registry.at(v);
+  if (delta >= 0) {
+    rec.balance += Gwei{static_cast<std::uint64_t>(delta)};
+  } else {
+    rec.balance -= Gwei{static_cast<std::uint64_t>(-delta)};
+  }
+  return delta;
+}
+
+}  // namespace leak::penalties

@@ -1,0 +1,73 @@
+// Attestation rewards and penalties (Section 3.3, penalty type (ii)).
+//
+// Outside an inactivity leak, timely and correct attestations earn
+// rewards proportional to a base reward derived from the validator's
+// effective balance and the total active balance; missing or incorrect
+// attestations are penalized.  During a leak, attester rewards are
+// suppressed (the paper's footnote 7: only proposer / sync rewards
+// remain) while the penalties stay — which is precisely why inactivity
+// penalties dominate the Section 5 analysis.
+//
+// The weights follow Altair's participation-flag split (source 14,
+// target 26, head 14 of a 64 denominator), with the base reward
+// computed Phase0-style from the integer square root of the total
+// active balance.
+#pragma once
+
+#include <cstdint>
+
+#include "src/chain/registry.hpp"
+#include "src/penalties/spec_config.hpp"
+
+namespace leak::penalties {
+
+/// Participation of one validator in one epoch's attestation duties.
+struct Participation {
+  bool attested = false;       ///< an attestation was included at all
+  bool timely_source = false;  ///< correct source within 5 slots
+  bool timely_target = false;  ///< correct target within 32 slots
+  bool timely_head = false;    ///< correct head within 1 slot
+};
+
+/// Altair-style weights (out of kWeightDenominator).
+struct RewardWeights {
+  std::uint64_t source = 14;
+  std::uint64_t target = 26;
+  std::uint64_t head = 14;
+  std::uint64_t denominator = 64;
+};
+
+/// Integer square root (spec's `integer_squareroot`).
+[[nodiscard]] std::uint64_t integer_sqrt(std::uint64_t n);
+
+/// Reward accountant for one epoch.
+class AttestationRewards {
+ public:
+  AttestationRewards(const chain::ValidatorRegistry& registry,
+                     RewardWeights weights = RewardWeights{});
+
+  /// Spec constants (Phase0 values).
+  static constexpr std::uint64_t kBaseRewardFactor = 64;
+  static constexpr std::uint64_t kBaseRewardsPerEpoch = 4;
+
+  /// Base reward of a validator at epoch e:
+  /// eff_balance * factor / isqrt(total_active) / rewards_per_epoch.
+  [[nodiscard]] Gwei base_reward(ValidatorIndex v, Epoch e) const;
+
+  /// Net balance delta (reward positive, penalty negative, in signed
+  /// Gwei) for the validator's participation this epoch.  When
+  /// `in_leak` is set, rewards are zeroed but penalties remain.
+  [[nodiscard]] std::int64_t net_delta(ValidatorIndex v, Epoch e,
+                                       const Participation& p,
+                                       bool in_leak) const;
+
+  /// Apply the delta to a (mutable) registry; returns the delta.
+  std::int64_t apply(chain::ValidatorRegistry& registry, ValidatorIndex v,
+                     Epoch e, const Participation& p, bool in_leak) const;
+
+ private:
+  const chain::ValidatorRegistry& registry_;
+  RewardWeights weights_;
+};
+
+}  // namespace leak::penalties

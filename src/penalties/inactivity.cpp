@@ -1,0 +1,80 @@
+#include "src/penalties/inactivity.hpp"
+
+#include <stdexcept>
+
+namespace leak::penalties {
+
+InactivityTracker::InactivityTracker(chain::ValidatorRegistry& registry,
+                                     SpecConfig config)
+    : registry_(registry),
+      config_(config),
+      exit_queue_(ChurnConfig{config.min_per_epoch_churn_limit,
+                              config.churn_limit_quotient}) {}
+
+bool InactivityTracker::is_leaking(Epoch current, Epoch last_finalized) const {
+  if (current.value() < last_finalized.value()) {
+    throw std::invalid_argument("is_leaking: finalized epoch in the future");
+  }
+  return current.value() - last_finalized.value() >
+         config_.min_epochs_to_inactivity_penalty;
+}
+
+EpochPenaltyReport InactivityTracker::process_epoch(
+    Epoch current, Epoch last_finalized, const std::vector<bool>& active) {
+  if (active.size() != registry_.size()) {
+    throw std::invalid_argument("process_epoch: activity vector size");
+  }
+  EpochPenaltyReport report;
+  report.epoch = current;
+  report.leaking = is_leaking(current, last_finalized);
+
+  for (std::uint32_t i = 0; i < registry_.size(); ++i) {
+    const ValidatorIndex v{i};
+    auto& rec = registry_.at(v);
+    if (rec.exited_by(current)) continue;
+
+    // Penalty uses the score and balance *before* this epoch's update
+    // (Eq 2 uses I(t-1) and s(t-1)).
+    if (report.leaking) {
+      const auto penalty_gwei = static_cast<std::uint64_t>(
+          (static_cast<__uint128_t>(rec.balance.value()) *
+           rec.inactivity_score) /
+          config_.inactivity_penalty_quotient);
+      const Gwei penalty{penalty_gwei};
+      rec.balance -= penalty;
+      report.total_penalty += penalty;
+    }
+
+    // Score update (Eq 1).
+    if (active[i]) {
+      const std::uint64_t dec = config_.inactivity_score_active_decrement;
+      rec.inactivity_score -= std::min(dec, rec.inactivity_score);
+    } else {
+      rec.inactivity_score += config_.inactivity_score_bias;
+    }
+    if (!report.leaking) {
+      const std::uint64_t dec = config_.inactivity_score_recovery_rate;
+      rec.inactivity_score -= std::min(dec, rec.inactivity_score);
+    }
+
+    // Ejection of depleted validators: immediate in the paper's model,
+    // queued through the churn limit when enabled.
+    if (rec.balance <= config_.ejection_balance) {
+      if (config_.use_churn_limit) {
+        exit_queue_.request_exit(v);
+      } else {
+        registry_.eject(v, current);
+        report.ejected.push_back(v);
+      }
+    }
+  }
+  if (config_.use_churn_limit) {
+    for (const ValidatorIndex v :
+         exit_queue_.process_epoch(registry_, current)) {
+      report.ejected.push_back(v);
+    }
+  }
+  return report;
+}
+
+}  // namespace leak::penalties

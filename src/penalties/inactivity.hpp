@@ -1,0 +1,59 @@
+// The inactivity-leak engine (Section 4 of the paper).
+//
+// Every epoch, given each validator's activity flag on the branch under
+// consideration, it:
+//   1. updates inactivity scores (Eq 1, plus the out-of-leak recovery);
+//   2. applies inactivity penalties I(t-1) * s(t-1) / quotient (Eq 2)
+//      while the leak is active;
+//   3. ejects validators whose balance fell to the ejection threshold.
+// The leak itself starts after `min_epochs_to_inactivity_penalty` epochs
+// without finalization and stops when finalization resumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/chain/registry.hpp"
+#include "src/penalties/churn.hpp"
+#include "src/penalties/spec_config.hpp"
+
+namespace leak::penalties {
+
+/// Outcome of one epoch of processing.
+struct EpochPenaltyReport {
+  Epoch epoch{};
+  bool leaking = false;
+  Gwei total_penalty{};
+  std::vector<ValidatorIndex> ejected;
+};
+
+/// Drives scores, penalties and ejections on one branch's registry view.
+class InactivityTracker {
+ public:
+  InactivityTracker(chain::ValidatorRegistry& registry, SpecConfig config);
+
+  /// True when the chain is in an inactivity leak at `current`, given the
+  /// last finalized epoch (spec: previous epoch - finalized epoch >
+  /// min_epochs_to_inactivity_penalty).
+  [[nodiscard]] bool is_leaking(Epoch current, Epoch last_finalized) const;
+
+  /// Process one epoch: `active[i]` says whether validator i was deemed
+  /// active this epoch on this branch (attested with a correct target).
+  /// Exited validators are skipped.
+  EpochPenaltyReport process_epoch(Epoch current, Epoch last_finalized,
+                                   const std::vector<bool>& active);
+
+  [[nodiscard]] const SpecConfig& config() const { return config_; }
+
+  /// Validators waiting in the exit queue (churn mode only).
+  [[nodiscard]] std::size_t pending_exits() const {
+    return exit_queue_.pending();
+  }
+
+ private:
+  chain::ValidatorRegistry& registry_;
+  SpecConfig config_;
+  ExitQueue exit_queue_;
+};
+
+}  // namespace leak::penalties

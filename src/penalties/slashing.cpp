@@ -1,0 +1,36 @@
+#include "src/penalties/slashing.hpp"
+
+namespace leak::penalties {
+
+std::optional<SlashingProof> SlashingDetector::observe(
+    const chain::Attestation& att) {
+  auto& stored = by_attester_[att.attester];
+  for (const chain::Attestation& prev : stored) {
+    if (chain::is_slashable_pair(prev, att)) {
+      // Copy before push_back: growing the vector invalidates `prev`.
+      SlashingProof proof{prev, att};
+      stored.push_back(att);
+      return proof;
+    }
+  }
+  stored.push_back(att);
+  return std::nullopt;
+}
+
+std::size_t SlashingDetector::observed_count(ValidatorIndex v) const {
+  const auto it = by_attester_.find(v);
+  return it == by_attester_.end() ? 0 : it->second.size();
+}
+
+Gwei apply_slashing(chain::ValidatorRegistry& registry, ValidatorIndex who,
+                    Epoch at, const SpecConfig& config) {
+  auto& rec = registry.at(who);
+  if (rec.slashed) return Gwei{};
+  rec.slashed = true;
+  const Gwei burn{rec.balance.value() / config.min_slashing_penalty_quotient};
+  rec.balance -= burn;
+  registry.eject(who, at);
+  return burn;
+}
+
+}  // namespace leak::penalties

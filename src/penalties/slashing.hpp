@@ -1,0 +1,51 @@
+// Slashing: detection of equivocating attestations and application of the
+// slashing penalty + forced exit (Section 3.3, penalty type (i)).
+//
+// The detector stores every attestation it is shown, indexed by attester,
+// and reports a proof when a newly observed attestation forms a slashable
+// pair (double vote or surround vote) with a stored one.  In the
+// simulator, honest validators only learn of conflicting attestations
+// once the partition heals — which is exactly why the Section 5.2.1
+// adversary escapes punishment until after the damage is done.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chain/block.hpp"
+#include "src/chain/registry.hpp"
+#include "src/penalties/spec_config.hpp"
+
+namespace leak::penalties {
+
+/// Evidence of a slashable offense: the two conflicting attestations.
+struct SlashingProof {
+  chain::Attestation first;
+  chain::Attestation second;
+
+  [[nodiscard]] ValidatorIndex offender() const { return first.attester; }
+};
+
+/// Watches attestations and finds slashable pairs.
+class SlashingDetector {
+ public:
+  /// Observe an attestation; returns a proof if it conflicts with any
+  /// previously observed attestation by the same validator.
+  std::optional<SlashingProof> observe(const chain::Attestation& att);
+
+  /// Number of stored attestations for a validator.
+  [[nodiscard]] std::size_t observed_count(ValidatorIndex v) const;
+
+ private:
+  std::unordered_map<ValidatorIndex, std::vector<chain::Attestation>>
+      by_attester_;
+};
+
+/// Applies a slashing: burns balance/min_slashing_penalty_quotient and
+/// ejects the offender at `at`.  Returns the burned amount; zero when the
+/// validator was already slashed (idempotent).
+Gwei apply_slashing(chain::ValidatorRegistry& registry, ValidatorIndex who,
+                    Epoch at, const SpecConfig& config);
+
+}  // namespace leak::penalties

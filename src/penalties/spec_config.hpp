@@ -1,0 +1,48 @@
+// Protocol constants governing penalties.  Two presets:
+//  * paper()   — the constants the paper's analysis uses (Section 4):
+//                inactivity penalty quotient 2^26, score bias +4, active
+//                decrement -1, out-of-leak recovery -16, ejection at
+//                16.75 ETH, leak trigger after 4 epochs without finality.
+//  * mainnet() — the post-Bellatrix mainnet values, for ablations
+//                (quotient 2^24, ejection at 16 ETH effective balance).
+#pragma once
+
+#include <cstdint>
+
+#include "src/support/types.hpp"
+
+namespace leak::penalties {
+
+struct SpecConfig {
+  /// Divisor in the per-epoch inactivity penalty I*s/quotient (Eq 2).
+  std::uint64_t inactivity_penalty_quotient = 1ULL << 26;
+  /// Inactivity score added per inactive epoch (Eq 1).
+  std::uint64_t inactivity_score_bias = 4;
+  /// Inactivity score subtracted per active epoch during a leak (Eq 1).
+  std::uint64_t inactivity_score_active_decrement = 1;
+  /// Extra score reduction applied every epoch while *not* leaking.
+  std::uint64_t inactivity_score_recovery_rate = 16;
+  /// Epochs without finality before the leak starts (Section 3.3).
+  std::uint64_t min_epochs_to_inactivity_penalty = 4;
+  /// Balance at or below which a validator is ejected, in Gwei.
+  Gwei ejection_balance = Gwei::from_eth(16.75);
+  /// Fraction of the balance burned immediately on slashing
+  /// (denominator: slashed loses balance/min_slashing_penalty_quotient).
+  std::uint64_t min_slashing_penalty_quotient = 32;
+  /// Rate-limit ejections through the spec's exit churn (the paper's
+  /// model ejects instantaneously; enable for the churn ablation).
+  bool use_churn_limit = false;
+  std::uint64_t min_per_epoch_churn_limit = 4;
+  std::uint64_t churn_limit_quotient = 65536;
+
+  [[nodiscard]] static SpecConfig paper() { return SpecConfig{}; }
+
+  [[nodiscard]] static SpecConfig mainnet() {
+    SpecConfig c;
+    c.inactivity_penalty_quotient = 1ULL << 24;  // Bellatrix
+    c.ejection_balance = Gwei::from_eth(16.0);
+    return c;
+  }
+};
+
+}  // namespace leak::penalties

@@ -1,0 +1,171 @@
+#include "src/sim/bouncing_protocol_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/chain/registry.hpp"
+#include "src/chain/shuffle.hpp"
+#include "src/penalties/inactivity.hpp"
+#include "src/support/random.hpp"
+
+namespace leak::sim {
+
+BouncingProtocolResult run_bouncing_protocol(
+    const BouncingProtocolConfig& cfg) {
+  if (cfg.n_validators == 0 || cfg.beta0 < 0.0 || cfg.beta0 >= 1.0) {
+    throw std::invalid_argument("run_bouncing_protocol: bad config");
+  }
+  const auto n = cfg.n_validators;
+  const auto n_byz = static_cast<std::uint32_t>(
+      std::llround(cfg.beta0 * static_cast<double>(n)));
+  const auto n_honest = n - n_byz;
+  const auto is_byz = [&](std::uint32_t i) { return i >= n_honest; };
+
+  Rng rng(cfg.seed);
+  BouncingProtocolResult res;
+
+  // One registry view per branch; exact leak arithmetic on both.
+  std::array<chain::ValidatorRegistry, 2> registry{
+      chain::ValidatorRegistry{n}, chain::ValidatorRegistry{n}};
+  std::array<penalties::InactivityTracker, 2> tracker{
+      penalties::InactivityTracker{registry[0], cfg.spec},
+      penalties::InactivityTracker{registry[1], cfg.spec}};
+
+  for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
+    const Epoch epoch{t};
+
+    // --- adversary's proposer lottery (branch A's registry drives the
+    // roster; both views agree on who exists pre-ejection) ------------
+    const chain::DutyRoster roster(registry[0], epoch, cfg.seed);
+    bool byz_proposer_in_window = false;
+    for (int s = 0; s < cfg.j; ++s) {
+      if (is_byz(roster.proposer(static_cast<std::uint64_t>(s)).value())) {
+        byz_proposer_in_window = true;
+        break;
+      }
+    }
+    if (!byz_proposer_in_window) {
+      res.duration = t - 1;
+      res.end = BouncingProtocolResult::End::kLotteryFailed;
+      return res;
+    }
+
+    // --- the bounce: the adversary justifies one branch per epoch
+    // (alternating) and steers a share p0 of the honest validators onto
+    // that target branch (Figure 8); each honest validator lands on the
+    // target independently with probability p0 --------------------------
+    // The adversary observes the network and releases its withheld votes
+    // exactly when a share p0 of the honest validators sits on the
+    // target branch — the count is steered (Eq 14), the identities
+    // re-randomize every epoch (Figure 8's per-validator Markov chain).
+    const int byz_branch = (t % 2 == 1) ? 0 : 1;
+    std::vector<std::uint32_t> honest_order(n_honest);
+    for (std::uint32_t i = 0; i < n_honest; ++i) honest_order[i] = i;
+    rng.shuffle(honest_order);
+    const auto k = static_cast<std::size_t>(
+        std::llround(cfg.p0 * static_cast<double>(n_honest)));
+    std::vector<bool> on_target(n, false);
+    for (std::size_t i = 0; i < k && i < honest_order.size(); ++i) {
+      on_target[honest_order[i]] = true;
+    }
+
+    bool byz_alive = false;
+    bool target_justified = false;
+    for (int b = 0; b < 2; ++b) {
+      auto& reg = registry[static_cast<std::size_t>(b)];
+      std::vector<bool> active(n, false);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (is_byz(i)) {
+          active[i] = (byz_branch == b);
+        } else {
+          active[i] = (b == byz_branch) ? on_target[i] : !on_target[i];
+        }
+      }
+      tracker[static_cast<std::size_t>(b)].process_epoch(epoch, Epoch{0},
+                                                         active);
+
+      // Justification bookkeeping: with Eq 14 satisfied, the branch the
+      // adversary reveals on gathers honest-active + Byzantine stake
+      // above 2/3 and is justified.
+      Gwei active_side{}, byz_side{}, total{};
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const ValidatorIndex v{i};
+        if (!reg.is_active(v, epoch)) continue;
+        const Gwei bal = reg.at(v).balance;
+        total += bal;
+        if (active[i]) active_side += bal;
+        if (is_byz(i)) {
+          byz_side += bal;
+          byz_alive = byz_alive || bal.value() > 0;
+        }
+      }
+      const bool justified =
+          3 * static_cast<__uint128_t>(active_side.value()) >
+          2 * static_cast<__uint128_t>(total.value());
+      if (byz_branch == b) {
+        target_justified = justified;
+        if (justified) {
+          if (b == 0) {
+            ++res.justifications_branch1;
+          } else {
+            ++res.justifications_branch2;
+          }
+        }
+      } else if (justified) {
+        // Condition (a) of Eq 14 violated: the honest side justified by
+        // itself, which would end the bounce.
+        res.alternation_held = false;
+      }
+
+      const double beta =
+          total.value() > 0
+              ? static_cast<double>(byz_side.value()) /
+                    static_cast<double>(total.value())
+              : 0.0;
+      if (beta > res.beta_peak) res.beta_peak = beta;
+      if (beta > 1.0 / 3.0 && res.beta_exceeded_epoch < 0) {
+        res.beta_exceeded_epoch = static_cast<std::int64_t>(t);
+      }
+    }
+
+    if (!byz_alive) {
+      res.duration = t;
+      res.end = BouncingProtocolResult::End::kByzantineEjected;
+      return res;
+    }
+    if (!target_justified) {
+      res.duration = t;
+      res.end = BouncingProtocolResult::End::kJustificationFailed;
+      return res;
+    }
+    res.duration = t;
+  }
+  res.end = BouncingProtocolResult::End::kHorizon;
+  return res;
+}
+
+BouncingProtocolAggregate run_bouncing_protocol_ensemble(
+    BouncingProtocolConfig cfg, std::size_t runs) {
+  if (runs == 0) {
+    throw std::invalid_argument("ensemble: runs must be > 0");
+  }
+  BouncingProtocolAggregate agg;
+  double total_duration = 0.0;
+  std::size_t exceeded = 0, lottery = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    cfg.seed = cfg.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto res = run_bouncing_protocol(cfg);
+    total_duration += static_cast<double>(res.duration);
+    exceeded += res.beta_exceeded_epoch >= 0 ? 1 : 0;
+    lottery +=
+        res.end == BouncingProtocolResult::End::kLotteryFailed ? 1 : 0;
+  }
+  agg.mean_duration = total_duration / static_cast<double>(runs);
+  agg.prob_beta_exceeded =
+      static_cast<double>(exceeded) / static_cast<double>(runs);
+  agg.prob_ended_by_lottery =
+      static_cast<double>(lottery) / static_cast<double>(runs);
+  return agg;
+}
+
+}  // namespace leak::sim

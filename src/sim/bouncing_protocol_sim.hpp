@@ -1,0 +1,84 @@
+// Protocol-view simulation of the probabilistic bouncing attack
+// (Section 5.3), at epoch granularity but with the protocol's actual
+// moving parts in the loop:
+//
+//  * two branches whose epoch-boundary checkpoints alternate
+//    justification: each epoch the adversary withholds its checkpoint
+//    votes and releases them only if one of its validators is among the
+//    proposers of the first j slots (drawn from the swap-or-not duty
+//    roster over the *live* registry, so the lottery is stake-aware and
+//    feels ejections);
+//  * honest validators bounce: each epoch every honest validator
+//    follows the fork-choice rule toward the branch that was justified
+//    last, landing on branch A with probability p0 (the adversary
+//    engineers the split per Eq 14);
+//  * both branch views run the real inactivity-leak engine
+//    (leak_penalties) over integer-Gwei registries, so scores, Eq 2
+//    penalties and ejections are exact;
+//  * the attack ends when the proposer lottery fails, when the
+//    adversary is ejected, or at the horizon.
+//
+// Outputs per run: duration, whether/when the Byzantine proportion
+// exceeded 1/3 on either branch view, and justification alternation
+// checks.  This bridges the gap between the closed-form Eq 24 analysis
+// and the abstract lifetime model in bouncing/attack_sim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/penalties/spec_config.hpp"
+
+namespace leak::sim {
+
+struct BouncingProtocolConfig {
+  std::uint32_t n_validators = 300;
+  double beta0 = 0.33;
+  /// Honest share the adversary steers onto the branch it justifies
+  /// each epoch; must satisfy Eq 14:
+  /// (2-3b0)/(3(1-b0)) < p0 < 2/(3(1-b0)).
+  double p0 = 0.52;
+  int j = 8;  ///< usable proposer slots per epoch
+  std::size_t max_epochs = 4000;
+  std::uint64_t seed = 17;
+  penalties::SpecConfig spec = penalties::SpecConfig::paper();
+};
+
+struct BouncingProtocolResult {
+  /// Epochs the attack survived.
+  std::uint64_t duration = 0;
+  /// Why it stopped.
+  enum class End : std::uint8_t {
+    kLotteryFailed,        ///< no Byzantine proposer in the j-slot window
+    kJustificationFailed,  ///< released votes no longer reach 2/3
+    kByzantineEjected,     ///< adversary stake drained to ejection
+    kHorizon,
+  } end = End::kHorizon;
+  /// First epoch beta > 1/3 on some branch view while the attack ran
+  /// (-1 when never).
+  std::int64_t beta_exceeded_epoch = -1;
+  /// Peak Byzantine proportion over both branch views.
+  double beta_peak = 0.0;
+  /// Justifications seen per branch (they must alternate: the attack
+  /// justifies exactly one branch per epoch).
+  std::uint64_t justifications_branch1 = 0;
+  std::uint64_t justifications_branch2 = 0;
+  /// Checks that every attack epoch justified exactly one branch.
+  bool alternation_held = true;
+};
+
+/// One run (deterministic for a seed).
+BouncingProtocolResult run_bouncing_protocol(
+    const BouncingProtocolConfig& cfg);
+
+/// Aggregate over `runs` seeds: empirical continuation statistics.
+struct BouncingProtocolAggregate {
+  double mean_duration = 0.0;
+  double prob_beta_exceeded = 0.0;
+  double prob_ended_by_lottery = 0.0;
+};
+
+BouncingProtocolAggregate run_bouncing_protocol_ensemble(
+    BouncingProtocolConfig cfg, std::size_t runs);
+
+}  // namespace leak::sim

@@ -1,0 +1,157 @@
+#include "src/sim/partition_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leak::sim {
+
+namespace {
+
+/// Does the Byzantine stake count toward the active side of the branch's
+/// ratio (Eqs 8 and 10 count it; Eq 5 has none)?
+bool byzantine_counts_active(Strategy s) {
+  return s == Strategy::kSlashable || s == Strategy::kSemiActiveFinalize;
+}
+
+}  // namespace
+
+PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
+  if (cfg.n_validators == 0) {
+    throw std::invalid_argument("run_partition_sim: no validators");
+  }
+  if (cfg.beta0 < 0.0 || cfg.beta0 >= 1.0 || cfg.p0 < 0.0 || cfg.p0 > 1.0) {
+    throw std::invalid_argument("run_partition_sim: bad proportions");
+  }
+  const auto n = cfg.n_validators;
+  const auto n_byz = static_cast<std::uint32_t>(
+      std::llround(cfg.beta0 * static_cast<double>(n)));
+  const auto n_honest = n - n_byz;
+  const auto n_h1 = static_cast<std::uint32_t>(
+      std::llround(cfg.p0 * static_cast<double>(n_honest)));
+
+  PartitionSimResult res;
+  res.n_byzantine = n_byz;
+  res.n_honest_branch1 = n_h1;
+  res.n_honest_branch2 = n_honest - n_h1;
+
+  // One registry view and tracker per branch.
+  std::array<chain::ValidatorRegistry, 2> registry{
+      chain::ValidatorRegistry{n}, chain::ValidatorRegistry{n}};
+  std::array<penalties::InactivityTracker, 2> tracker{
+      penalties::InactivityTracker{registry[0], cfg.spec},
+      penalties::InactivityTracker{registry[1], cfg.spec}};
+
+  const auto is_byz = [&](std::uint32_t i) { return i >= n_honest; };
+  const auto honest_branch = [&](std::uint32_t i) -> int {
+    return i < n_h1 ? 0 : 1;
+  };
+
+  std::array<bool, 2> leak_over = {false, false};
+
+  for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
+    const Epoch epoch{t};
+    for (int b = 0; b < 2; ++b) {
+      if (leak_over[static_cast<std::size_t>(b)]) continue;
+      auto& reg = registry[static_cast<std::size_t>(b)];
+      auto& out = res.branch[static_cast<std::size_t>(b)];
+
+      // Activity on branch b this epoch.
+      std::vector<bool> active(n, false);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (is_byz(i)) {
+          switch (cfg.strategy) {
+            case Strategy::kNone:
+              break;  // unreachable: n_byz == 0
+            case Strategy::kSlashable:
+              active[i] = true;
+              break;
+            case Strategy::kSemiActiveFinalize:
+            case Strategy::kSemiActiveOverthrow:
+              active[i] = (t % 2 == static_cast<std::size_t>(b));
+              break;
+          }
+        } else {
+          active[i] = honest_branch(i) == b;
+        }
+      }
+
+      // Penalties for this epoch (leak active: nothing finalized since 0).
+      const auto report = tracker[static_cast<std::size_t>(b)].process_epoch(
+          epoch, Epoch{0}, active);
+      if (out.honest_ejection_epoch < 0) {
+        for (const ValidatorIndex v : report.ejected) {
+          if (!is_byz(v.value())) {
+            out.honest_ejection_epoch = static_cast<std::int64_t>(t);
+            break;
+          }
+        }
+      }
+
+      // Branch metrics: the ratio counts the stake classes per the
+      // paper's Eqs 5/8/10 — honest actives plus (strategy-dependent)
+      // the Byzantine stake, over all non-exited stake.
+      const Gwei total = reg.total_active_balance(epoch);
+      Gwei active_side{};
+      Gwei byz_side{};
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const ValidatorIndex v{i};
+        if (!reg.is_active(v, epoch)) continue;
+        const Gwei bal = reg.at(v).balance;
+        if (is_byz(i)) {
+          byz_side += bal;
+          if (byzantine_counts_active(cfg.strategy)) active_side += bal;
+        } else if (honest_branch(i) == b) {
+          active_side += bal;
+        }
+      }
+      const double beta =
+          total.value() > 0
+              ? static_cast<double>(byz_side.value()) /
+                    static_cast<double>(total.value())
+              : 0.0;
+      const double ratio =
+          total.value() > 0
+              ? static_cast<double>(active_side.value()) /
+                    static_cast<double>(total.value())
+              : 0.0;
+      if (beta > out.beta_peak) {
+        out.beta_peak = beta;
+        out.beta_peak_epoch = static_cast<std::int64_t>(t);
+      }
+      if (t % cfg.trajectory_stride == 0) {
+        out.ratio_trajectory.push_back(ratio);
+        out.beta_trajectory.push_back(beta);
+      }
+
+      // Supermajority and finalization bookkeeping.
+      const bool supermajority =
+          3 * static_cast<__uint128_t>(active_side.value()) >
+          2 * static_cast<__uint128_t>(total.value());
+      if (supermajority && out.supermajority_epoch < 0) {
+        out.supermajority_epoch = static_cast<std::int64_t>(t);
+      }
+      const bool wants_finalize =
+          cfg.strategy != Strategy::kSemiActiveOverthrow;
+      if (wants_finalize && out.supermajority_epoch >= 0 &&
+          out.finalization_epoch < 0 &&
+          t > static_cast<std::size_t>(out.supermajority_epoch)) {
+        // One extra epoch of supermajority justifies the next checkpoint
+        // and finalizes the previous one (Section 5.1).
+        out.finalization_epoch = static_cast<std::int64_t>(t);
+        leak_over[static_cast<std::size_t>(b)] = true;
+      }
+    }
+    if (leak_over[0] && leak_over[1]) break;
+  }
+
+  const auto f1 = res.branch[0].finalization_epoch;
+  const auto f2 = res.branch[1].finalization_epoch;
+  if (f1 >= 0 && f2 >= 0) {
+    res.conflicting_finalization_epoch = std::max(f1, f2);
+  }
+  res.beta_exceeded_third_both = res.branch[0].beta_peak > 1.0 / 3.0 &&
+                                 res.branch[1].beta_peak > 1.0 / 3.0;
+  return res;
+}
+
+}  // namespace leak::sim

@@ -1,0 +1,79 @@
+// Epoch-granular agent simulation of the partition scenarios of
+// Section 5 (5.1, 5.2.1, 5.2.2, 5.2.3).
+//
+// Two branches grow independently during the partition; each branch has
+// its own registry view (stakes, scores, ejections are branch-relative —
+// Section 4.1: "if there are multiple branches, a validator's inactivity
+// score depends on the selected branch").  Honest validators are active
+// on exactly one branch; Byzantine validators behave per the configured
+// strategy.  The simulator uses the exact protocol arithmetic of
+// leak_penalties (integer Gwei, floored scores), so it cross-validates
+// the continuous closed forms of leak_analytic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/chain/registry.hpp"
+#include "src/penalties/inactivity.hpp"
+#include "src/penalties/spec_config.hpp"
+
+namespace leak::sim {
+
+/// Byzantine strategy during the partition.
+enum class Strategy : std::uint8_t {
+  kNone,                ///< Section 5.1: all honest
+  kSlashable,           ///< Section 5.2.1: active on both branches
+  kSemiActiveFinalize,  ///< Section 5.2.2: alternate; finalize ASAP
+  kSemiActiveOverthrow, ///< Section 5.2.3: alternate; never finalize
+};
+
+struct PartitionSimConfig {
+  std::uint32_t n_validators = 1000;
+  double beta0 = 0.0;  ///< Byzantine stake proportion
+  double p0 = 0.5;     ///< honest proportion on branch 1
+  Strategy strategy = Strategy::kNone;
+  std::size_t max_epochs = 6000;
+  penalties::SpecConfig spec = penalties::SpecConfig::paper();
+  /// Record the active-stake ratio every `trajectory_stride` epochs.
+  std::size_t trajectory_stride = 8;
+};
+
+/// Per-branch outcome.
+struct BranchOutcome {
+  /// First epoch with > 2/3 active stake; -1 when never within horizon.
+  std::int64_t supermajority_epoch = -1;
+  /// Epoch of finalization on the branch (supermajority + 1); -1 never.
+  std::int64_t finalization_epoch = -1;
+  /// Maximum Byzantine stake proportion observed on the branch.
+  double beta_peak = 0.0;
+  /// Epoch of the Byzantine peak.
+  std::int64_t beta_peak_epoch = 0;
+  /// Epoch the honest-inactive class got ejected; -1 when not reached.
+  std::int64_t honest_ejection_epoch = -1;
+  /// Sampled active-stake ratio trajectory.
+  std::vector<double> ratio_trajectory;
+  /// Sampled Byzantine-proportion trajectory.
+  std::vector<double> beta_trajectory;
+};
+
+struct PartitionSimResult {
+  std::array<BranchOutcome, 2> branch;
+  /// Epoch at which both branches had finalized conflicting checkpoints;
+  /// -1 when not reached within the horizon.
+  std::int64_t conflicting_finalization_epoch = -1;
+  /// Whether Byzantine proportion exceeded 1/3 on both branches.
+  bool beta_exceeded_third_both = false;
+  /// Number of validators of each class (derived from config).
+  std::uint32_t n_byzantine = 0;
+  std::uint32_t n_honest_branch1 = 0;
+  std::uint32_t n_honest_branch2 = 0;
+};
+
+/// Run the scenario.  Deterministic (no randomness needed: classes are
+/// homogeneous, so counts are rounded from the proportions).
+PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg);
+
+}  // namespace leak::sim

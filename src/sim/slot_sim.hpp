@@ -1,0 +1,80 @@
+// Full slot-level protocol simulation: proposers, attesters, gossip over
+// the partial-synchrony network, per-validator views, LMD-GHOST fork
+// choice, FFG justification/finalization, slashing detection and the
+// leak trigger.  Used for protocol-level integration tests and the
+// short-horizon examples; the multi-thousand-epoch leak dynamics run on
+// the epoch-granular partition simulator instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "src/chain/blocktree.hpp"
+#include "src/chain/forkchoice.hpp"
+#include "src/chain/registry.hpp"
+#include "src/crypto/keys.hpp"
+#include "src/finality/ffg.hpp"
+#include "src/finality/safety.hpp"
+#include "src/net/event_queue.hpp"
+#include "src/net/network.hpp"
+#include "src/penalties/slashing.hpp"
+#include "src/penalties/spec_config.hpp"
+
+namespace leak::sim {
+
+struct SlotSimConfig {
+  std::uint32_t n_honest = 32;
+  std::uint32_t n_byzantine = 0;
+  std::size_t epochs = 8;
+  /// Honest fraction assigned to region one.
+  double p0 = 1.0;
+  /// Epoch at which the partition heals (GST); 0 disables the partition.
+  double gst_epoch = 0.0;
+  /// Network delay bound within a region / after GST, seconds.
+  double delta = 1.0;
+  std::uint64_t seed = 1;
+  penalties::SpecConfig spec = penalties::SpecConfig::paper();
+};
+
+/// Everything a test wants to inspect after a run.
+struct SlotSimResult {
+  /// Finalized checkpoint epoch per validator at the end of the run.
+  std::vector<std::uint64_t> finalized_epoch;
+  /// Justified checkpoint epoch per validator.
+  std::vector<std::uint64_t> justified_epoch;
+  /// Safety violations detected across views (conflicting finalization).
+  std::size_t safety_violations = 0;
+  /// Slashing proofs honest validators produced (offender indices).
+  std::vector<ValidatorIndex> slashed;
+  /// Was the leak trigger observed by validator 0 at any epoch?
+  bool leak_observed = false;
+  /// Blocks in validator 0's tree at the end.
+  std::size_t blocks_seen = 0;
+  /// Total network messages delivered.
+  std::uint64_t messages_delivered = 0;
+  /// Per-epoch: did validator 0's finalized checkpoint advance?
+  std::vector<bool> finality_advanced;
+};
+
+/// The simulator.  Construct, then call run().
+class SlotSim {
+ public:
+  explicit SlotSim(SlotSimConfig cfg);
+  ~SlotSim();
+
+  SlotSim(const SlotSim&) = delete;
+  SlotSim& operator=(const SlotSim&) = delete;
+
+  SlotSimResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace leak::sim

@@ -1,0 +1,114 @@
+// SSZ-lite binary codec: little-endian fixed-width integers, byte
+// arrays, and length-prefixed vectors — enough to serialize blocks and
+// attestations deterministically (content-addressing and wire format
+// for the simulator).  Decoding is bounds-checked and returns false on
+// truncated input instead of throwing (network bytes are untrusted).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace leak::codec {
+
+/// Append-only encoder.
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  template <std::size_t N>
+  void put_array(const std::array<std::uint8_t, N>& a) {
+    put_bytes(std::span<const std::uint8_t>(a.data(), a.size()));
+  }
+
+  /// Length-prefixed (u32) blob.
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put_u32(static_cast<std::uint32_t>(bytes.size()));
+    put_bytes(bytes);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool get_u8(std::uint8_t& out) {
+    if (pos_ + 1 > data_.size()) return false;
+    out = data_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] bool get_u32(std::uint32_t& out) {
+    if (pos_ + 4 > data_.size()) return false;
+    out = 0;
+    for (int i = 3; i >= 0; --i) {
+      out = (out << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool get_u64(std::uint64_t& out) {
+    if (pos_ + 8 > data_.size()) return false;
+    out = 0;
+    for (int i = 7; i >= 0; --i) {
+      out = (out << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  template <std::size_t N>
+  [[nodiscard]] bool get_array(std::array<std::uint8_t, N>& out) {
+    if (pos_ + N > data_.size()) return false;
+    std::memcpy(out.data(), data_.data() + pos_, N);
+    pos_ += N;
+    return true;
+  }
+
+  [[nodiscard]] bool get_blob(std::vector<std::uint8_t>& out) {
+    std::uint32_t len = 0;
+    if (!get_u32(len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace leak::codec

@@ -1,0 +1,68 @@
+// Small statistics kit: single-pass moments, quantiles, histograms.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace leak {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample using linear interpolation (type-7, the numpy
+/// default).  q in [0,1].  Copies and sorts the input.
+double quantile(std::vector<double> xs, double q);
+
+/// Kolmogorov-Smirnov distance between an empirical sample and a model
+/// cdf: sup_x |F_n(x) - F(x)|.  Handles cdfs with point masses (the
+/// censored stake law) by checking both sides of each sample point.
+double ks_distance(std::vector<double> sample,
+                   const std::function<double(double)>& cdf);
+
+/// Fixed-range histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double bin_width() const;
+  /// Normalized density value of bin i (counts / (total * width)).
+  [[nodiscard]] double density(std::size_t i) const;
+  /// Render as a compact ASCII bar chart (for bench/debug output).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace leak

@@ -1,0 +1,35 @@
+// ASCII table and CSV emission used by the benchmark harnesses to print
+// paper-style tables ("paper value | reproduced value | relative error").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace leak {
+
+/// Column-aligned ASCII table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to `path` if the LEAK_BENCH_CSV environment variable is set
+  /// to a non-empty value; returns true when a file was written.
+  bool maybe_write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace leak

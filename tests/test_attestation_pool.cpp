@@ -1,0 +1,110 @@
+// Tests for the attestation aggregation pool.
+#include <gtest/gtest.h>
+
+#include "src/chain/attestation_pool.hpp"
+
+namespace leak::chain {
+namespace {
+
+class PoolFixture : public ::testing::Test {
+ protected:
+  PoolFixture() { keys_vec = keys.generate(16, 5); }
+
+  Attestation make(std::uint32_t who, std::uint64_t slot,
+                   const std::string& head_tag = "h") {
+    Attestation a;
+    a.attester = ValidatorIndex{who};
+    a.slot = Slot{slot};
+    a.head = crypto::sha256(head_tag);
+    a.source = Checkpoint{crypto::sha256("src"), Epoch{0}};
+    a.target = Checkpoint{crypto::sha256("tgt"), epoch_of(Slot{slot})};
+    a.sign(keys_vec[who]);
+    return a;
+  }
+
+  crypto::KeyRegistry keys;
+  std::vector<crypto::KeyPair> keys_vec;
+  AttestationPool pool;
+};
+
+TEST_F(PoolFixture, IngestAndAggregateSameData) {
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(pool.ingest(make(i, 7), keys));
+  }
+  EXPECT_EQ(pool.groups(), 1u);
+  EXPECT_EQ(pool.size(), 5u);
+  const auto agg = pool.aggregate_for(AttestationData::of(make(0, 7)));
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->participation(), 5u);
+}
+
+TEST_F(PoolFixture, RejectsBadSignature) {
+  Attestation a = make(1, 3);
+  a.signature.mac[0] ^= 0xff;
+  EXPECT_FALSE(pool.ingest(a, keys));
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST_F(PoolFixture, RejectsDuplicates) {
+  EXPECT_TRUE(pool.ingest(make(2, 4), keys));
+  EXPECT_FALSE(pool.ingest(make(2, 4), keys));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST_F(PoolFixture, SeparatesDifferentHeads) {
+  pool.ingest(make(0, 9, "branchA"), keys);
+  pool.ingest(make(1, 9, "branchB"), keys);
+  EXPECT_EQ(pool.groups(), 2u);
+}
+
+TEST_F(PoolFixture, SelectionOrdersByParticipation) {
+  for (std::uint32_t i = 0; i < 6; ++i) pool.ingest(make(i, 10, "big"), keys);
+  for (std::uint32_t i = 6; i < 9; ++i) {
+    pool.ingest(make(i, 11, "small"), keys);
+  }
+  const auto picked = pool.select_for_block(2);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].participation(), 6u);
+  EXPECT_EQ(picked[1].participation(), 3u);
+}
+
+TEST_F(PoolFixture, SelectionTieBreaksOnOlderSlot) {
+  pool.ingest(make(0, 20, "x"), keys);
+  pool.ingest(make(1, 15, "y"), keys);
+  const auto picked = pool.select_for_block(2);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].data.slot, Slot{15});
+}
+
+TEST_F(PoolFixture, SelectionCapsCount) {
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    pool.ingest(make(i, 30 + i, "t" + std::to_string(i)), keys);
+  }
+  EXPECT_EQ(pool.select_for_block(3).size(), 3u);
+  EXPECT_EQ(pool.select_for_block(100).size(), 8u);
+}
+
+TEST_F(PoolFixture, PruneDropsOldGroups) {
+  pool.ingest(make(0, 5), keys);
+  pool.ingest(make(1, 40, "later"), keys);
+  EXPECT_EQ(pool.prune_before(Slot{32}), 1u);
+  EXPECT_EQ(pool.groups(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
+  // The pruned attester may attest again for a newer slot.
+  EXPECT_TRUE(pool.ingest(make(0, 41, "later2"), keys));
+}
+
+TEST_F(PoolFixture, AggregateVerifiesAgainstRegistry) {
+  for (std::uint32_t i = 0; i < 4; ++i) pool.ingest(make(i, 12), keys);
+  const auto agg = pool.aggregate_for(AttestationData::of(make(0, 12)));
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_TRUE(agg->signature.verify(make(0, 12).signing_root(), keys));
+}
+
+TEST_F(PoolFixture, UnknownDataReturnsNothing) {
+  EXPECT_FALSE(pool.aggregate_for(AttestationData::of(make(0, 99)))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace leak::chain

@@ -1,0 +1,154 @@
+// Tests for attestation rewards/penalties (Section 3.3 type (ii)) and
+// their suppression during the inactivity leak (footnote 7).
+#include <gtest/gtest.h>
+
+#include "src/penalties/attestation_rewards.hpp"
+
+namespace leak::penalties {
+namespace {
+
+using chain::ValidatorRegistry;
+
+TEST(IntegerSqrt, KnownValues) {
+  EXPECT_EQ(integer_sqrt(0), 0u);
+  EXPECT_EQ(integer_sqrt(1), 1u);
+  EXPECT_EQ(integer_sqrt(3), 1u);
+  EXPECT_EQ(integer_sqrt(4), 2u);
+  EXPECT_EQ(integer_sqrt(15), 3u);
+  EXPECT_EQ(integer_sqrt(16), 4u);
+  EXPECT_EQ(integer_sqrt(1'000'000'000'000ULL), 1'000'000u);
+  EXPECT_EQ(integer_sqrt(~0ULL), 4294967295u);
+}
+
+TEST(IntegerSqrt, FloorProperty) {
+  for (std::uint64_t n : {7ULL, 99ULL, 12345ULL, 999999999ULL}) {
+    const std::uint64_t r = integer_sqrt(n);
+    EXPECT_LE(r * r, n);
+    EXPECT_GT((r + 1) * (r + 1), n);
+  }
+}
+
+class RewardsFixture : public ::testing::Test {
+ protected:
+  RewardsFixture() : reg(64), rewards(reg) {}
+
+  static Participation full() {
+    return Participation{true, true, true, true};
+  }
+  static Participation missed() { return Participation{}; }
+
+  ValidatorRegistry reg;
+  AttestationRewards rewards;
+};
+
+TEST_F(RewardsFixture, BaseRewardScalesWithBalance) {
+  const Gwei b32 = rewards.base_reward(ValidatorIndex{0}, Epoch{1});
+  EXPECT_GT(b32.value(), 0u);
+  reg.at(ValidatorIndex{1}).balance = Gwei::from_eth(16.0);
+  const Gwei b16 = rewards.base_reward(ValidatorIndex{1}, Epoch{1});
+  // Halving the balance ~halves the base reward (the total shrinks a
+  // little too, so allow 1%).
+  EXPECT_NEAR(static_cast<double>(b16.value()) /
+                  (static_cast<double>(b32.value()) / 2.0),
+              1.0, 0.01);
+}
+
+TEST_F(RewardsFixture, PerfectParticipationEarns) {
+  const auto d = rewards.net_delta(ValidatorIndex{0}, Epoch{1}, full(),
+                                   /*in_leak=*/false);
+  EXPECT_GT(d, 0);
+  // Exactly (14 + 26 + 14)/64 of the base reward.
+  const auto base =
+      static_cast<std::int64_t>(rewards.base_reward(ValidatorIndex{0},
+                                                    Epoch{1}).value());
+  EXPECT_EQ(d, base * 14 / 64 + base * 26 / 64 + base * 14 / 64);
+}
+
+TEST_F(RewardsFixture, MissedAttestationPenalized) {
+  const auto d = rewards.net_delta(ValidatorIndex{0}, Epoch{1}, missed(),
+                                   false);
+  EXPECT_LT(d, 0);
+  // Source + target penalized; head misses are not penalized.
+  const auto base =
+      static_cast<std::int64_t>(rewards.base_reward(ValidatorIndex{0},
+                                                    Epoch{1}).value());
+  EXPECT_EQ(d, -(base * 14 / 64 + base * 26 / 64));
+}
+
+TEST_F(RewardsFixture, LeakSuppressesRewardsKeepsPenalties) {
+  const auto good = rewards.net_delta(ValidatorIndex{0}, Epoch{1}, full(),
+                                      /*in_leak=*/true);
+  EXPECT_EQ(good, 0);  // perfect participation earns nothing in a leak
+  const auto bad = rewards.net_delta(ValidatorIndex{0}, Epoch{1}, missed(),
+                                     /*in_leak=*/true);
+  EXPECT_LT(bad, 0);  // misses still penalized
+}
+
+TEST_F(RewardsFixture, PartialParticipation) {
+  Participation p;
+  p.attested = true;
+  p.timely_source = true;
+  p.timely_target = false;  // wrong target: penalized
+  p.timely_head = false;
+  const auto d = rewards.net_delta(ValidatorIndex{0}, Epoch{1}, p, false);
+  const auto base =
+      static_cast<std::int64_t>(rewards.base_reward(ValidatorIndex{0},
+                                                    Epoch{1}).value());
+  EXPECT_EQ(d, base * 14 / 64 - base * 26 / 64);
+  EXPECT_LT(d, 0);  // target dominates source
+}
+
+TEST_F(RewardsFixture, ApplyMutatesRegistry) {
+  const auto before = reg.at(ValidatorIndex{0}).balance;
+  const auto d =
+      rewards.apply(reg, ValidatorIndex{0}, Epoch{1}, full(), false);
+  EXPECT_GT(d, 0);
+  EXPECT_EQ(reg.at(ValidatorIndex{0}).balance.value(),
+            before.value() + static_cast<std::uint64_t>(d));
+  const auto d2 =
+      rewards.apply(reg, ValidatorIndex{1}, Epoch{1}, missed(), false);
+  EXPECT_LT(d2, 0);
+  EXPECT_LT(reg.at(ValidatorIndex{1}).balance, before);
+}
+
+TEST_F(RewardsFixture, AttestationPenaltiesSmallerThanLeakPenalties) {
+  // The paper's rationale for focusing on inactivity penalties: at
+  // realistic network scale (many validators, so base rewards are
+  // small) an inactive validator's per-epoch inactivity penalty soon
+  // dwarfs its attestation penalty.  With 10k validators and 100 epochs
+  // of inactivity (score 400): I*s/2^26 vs (40/64) * base_reward.
+  ValidatorRegistry big(10000);
+  AttestationRewards big_rewards(big);
+  const auto base = static_cast<double>(
+      big_rewards.base_reward(ValidatorIndex{0}, Epoch{1}).value());
+  const double attestation_penalty = base * 40.0 / 64.0;
+  const double inactivity_penalty =
+      400.0 * 32.0e9 / 67108864.0;  // score 400, 32 ETH, quotient 2^26
+  EXPECT_GT(inactivity_penalty, attestation_penalty);
+}
+
+// Parameterized: net delta is monotone in participation quality.
+class ParticipationOrder : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ParticipationOrder, MoreFlagsNeverWorse) {
+  const bool in_leak = GetParam();
+  ValidatorRegistry reg(16);
+  AttestationRewards rewards(reg);
+  const Participation levels[] = {
+      {},                            // missed
+      {true, true, false, false},    // source only
+      {true, true, true, false},     // source + target
+      {true, true, true, true},      // everything
+  };
+  std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+  for (const auto& p : levels) {
+    const auto d = rewards.net_delta(ValidatorIndex{0}, Epoch{1}, p, in_leak);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeakOnOff, ParticipationOrder, ::testing::Bool());
+
+}  // namespace
+}  // namespace leak::penalties

@@ -1,0 +1,111 @@
+// Tests for the protocol-view bouncing attack simulator (Section 5.3
+// mechanics end to end).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bouncing/markov.hpp"
+#include "src/sim/bouncing_protocol_sim.hpp"
+
+namespace leak::sim {
+namespace {
+
+BouncingProtocolConfig base() {
+  BouncingProtocolConfig cfg;
+  cfg.n_validators = 300;
+  cfg.beta0 = 0.33;
+  cfg.p0 = 0.52;
+  cfg.max_epochs = 500;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(BouncingProtocol, ConfigSatisfiesEq14) {
+  const auto cfg = base();
+  EXPECT_TRUE(bouncing::attack_feasible(cfg.p0, cfg.beta0));
+}
+
+TEST(BouncingProtocol, JustificationsAlternateWhileAttackRuns) {
+  const auto r = run_bouncing_protocol(base());
+  EXPECT_TRUE(r.alternation_held);
+  // One justification per completed attack epoch (the final epoch may
+  // have failed to justify, depending on how the attack ended).
+  const auto total = r.justifications_branch1 + r.justifications_branch2;
+  EXPECT_LE(total, r.duration);
+  EXPECT_GE(total + 1, r.duration);
+  // Alternation: the counts differ by at most one.
+  const auto j1 = r.justifications_branch1;
+  const auto j2 = r.justifications_branch2;
+  EXPECT_LE(j1 > j2 ? j1 - j2 : j2 - j1, 1u);
+}
+
+TEST(BouncingProtocol, TypicallyDiesByLotteryQuickly) {
+  // With beta0 = 0.33 and j = 8 the continuation probability is ~0.96
+  // per epoch: mean lifetime ~ 25 epochs, far from 4000.
+  const auto agg = run_bouncing_protocol_ensemble(base(), 60);
+  EXPECT_GT(agg.prob_ended_by_lottery, 0.9);
+  EXPECT_LT(agg.mean_duration, 150.0);
+  EXPECT_GT(agg.mean_duration, 2.0);
+  // And within such short lifetimes beta never crosses 1/3.
+  EXPECT_LT(agg.prob_beta_exceeded, 0.05);
+}
+
+TEST(BouncingProtocol, MeanDurationTracksGeometricModel) {
+  auto cfg = base();
+  cfg.max_epochs = 2000;
+  const auto agg = run_bouncing_protocol_ensemble(cfg, 120);
+  // Continuation uses the *lottery over validators*; with homogeneous
+  // stakes this is ~1-(1-beta0)^j per epoch.
+  const double p_die = std::pow(1.0 - cfg.beta0, cfg.j);
+  const double expect = (1.0 - p_die) / p_die;
+  EXPECT_NEAR(agg.mean_duration, expect, expect * 0.45);
+}
+
+TEST(BouncingProtocol, FewerSlotsShorterAttack) {
+  auto a = base();
+  a.j = 2;
+  auto b = base();
+  b.j = 16;
+  const auto ra = run_bouncing_protocol_ensemble(a, 40);
+  const auto rb = run_bouncing_protocol_ensemble(b, 40);
+  EXPECT_LT(ra.mean_duration, rb.mean_duration);
+}
+
+TEST(BouncingProtocol, InfeasibleSplitFailsJustification) {
+  // p0 below the Eq 14 lower bound: released votes cannot reach 2/3 and
+  // the attack collapses immediately with kJustificationFailed.
+  auto cfg = base();
+  cfg.p0 = 0.40;
+  ASSERT_FALSE(bouncing::attack_feasible(cfg.p0, cfg.beta0));
+  const auto r = run_bouncing_protocol(cfg);
+  if (r.end == BouncingProtocolResult::End::kJustificationFailed) {
+    EXPECT_LE(r.duration, 5u);
+  } else {
+    // The lottery may fail first; either way the attack dies fast.
+    EXPECT_EQ(r.end, BouncingProtocolResult::End::kLotteryFailed);
+  }
+}
+
+TEST(BouncingProtocol, BetaPeakBoundedDuringShortAttacks) {
+  const auto r = run_bouncing_protocol(base());
+  EXPECT_GT(r.beta_peak, 0.30);  // starts at ~beta0
+  EXPECT_LT(r.beta_peak, 0.40);  // no time to drift far
+}
+
+TEST(BouncingProtocol, DeterministicPerSeed) {
+  const auto a = run_bouncing_protocol(base());
+  const auto b = run_bouncing_protocol(base());
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.beta_peak, b.beta_peak);
+}
+
+TEST(BouncingProtocol, InvalidConfigThrows) {
+  BouncingProtocolConfig cfg;
+  cfg.n_validators = 0;
+  EXPECT_THROW(run_bouncing_protocol(cfg), std::invalid_argument);
+  EXPECT_THROW(run_bouncing_protocol_ensemble(base(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leak::sim

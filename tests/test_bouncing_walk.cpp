@@ -1,0 +1,148 @@
+// Tests for the inactivity-score random walk: exact DP pmf, moments and
+// the paper's Gaussian approximation (Eq 16).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bouncing/walk.hpp"
+#include "src/support/numeric.hpp"
+
+namespace leak::bouncing {
+namespace {
+
+TEST(WalkParamsTest, PaperConstants) {
+  const auto w = WalkParams::paper(0.5);
+  EXPECT_DOUBLE_EQ(w.drift, 1.5);
+  EXPECT_DOUBLE_EQ(w.diffusion, 6.25);  // 25 * 0.25
+}
+
+TEST(StepMomentsTest, HalfAndHalf) {
+  const auto m = step_moments(0.5);
+  EXPECT_DOUBLE_EQ(m.mean, 1.5);
+  EXPECT_DOUBLE_EQ(m.variance, 6.25);  // 8.5 - 2.25
+}
+
+TEST(StepMomentsTest, ExtremeP0) {
+  // Always active: deterministic -1 step.
+  const auto act = step_moments(1.0);
+  EXPECT_DOUBLE_EQ(act.mean, -1.0);
+  EXPECT_DOUBLE_EQ(act.variance, 0.0);
+  // Always inactive: deterministic +4 step.
+  const auto inact = step_moments(0.0);
+  EXPECT_DOUBLE_EQ(inact.mean, 4.0);
+  EXPECT_DOUBLE_EQ(inact.variance, 0.0);
+}
+
+TEST(Phi, NormalizedOverScores) {
+  // Integrate the paper's Gaussian over I: must be ~1.
+  const auto w = WalkParams::paper(0.5);
+  const double t = 500.0;
+  const auto xs = leak::num::linspace(-500.0, 2500.0, 20001);
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = phi(xs[i], t, w);
+  EXPECT_NEAR(leak::num::trapezoid(xs, ys), 1.0, 1e-6);
+}
+
+TEST(Phi, PeaksAtDrift) {
+  const auto w = WalkParams::paper(0.5);
+  const double t = 300.0;
+  const double at_mean = phi(w.drift * t, t, w);
+  EXPECT_GT(at_mean, phi(w.drift * t + 50.0, t, w));
+  EXPECT_GT(at_mean, phi(w.drift * t - 50.0, t, w));
+}
+
+TEST(Phi, InvalidTimeThrows) {
+  EXPECT_THROW(phi(0.0, 0.0, WalkParams::paper(0.5)), std::invalid_argument);
+}
+
+TEST(ExactPmf, NormalizesAndSupports) {
+  const auto pmf = exact_score_pmf(0.5, 50, /*floor_at_zero=*/true);
+  double total = 0.0;
+  for (double p : pmf.p) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(pmf.offset, 0);
+}
+
+TEST(ExactPmf, UnflooredMeanMatchesDrift) {
+  const std::size_t t = 200;
+  const auto pmf = exact_score_pmf(0.5, t, /*floor_at_zero=*/false);
+  EXPECT_NEAR(pmf.mean(), 1.5 * static_cast<double>(t), 1e-9);
+}
+
+TEST(ExactPmf, UnflooredVarianceMatchesStepMoments) {
+  const std::size_t t = 200;
+  const auto pmf = exact_score_pmf(0.5, t, false);
+  // Exact per-epoch variance is 6.25 (half the paper Gaussian's 12.5 t).
+  EXPECT_NEAR(pmf.variance(), 6.25 * static_cast<double>(t), 1e-6);
+}
+
+TEST(ExactPmf, PaperGaussianOverstatesVarianceByTwo) {
+  // Documents the paper's factor-2: its phi has variance 2 D t = 12.5 t
+  // while the true walk variance is 6.25 t.
+  const std::size_t t = 400;
+  const auto pmf = exact_score_pmf(0.5, t, false);
+  const auto w = WalkParams::paper(0.5);
+  const double paper_var = 2.0 * w.diffusion * static_cast<double>(t);
+  EXPECT_NEAR(paper_var / pmf.variance(), 2.0, 1e-6);
+}
+
+TEST(ExactPmf, FlooredMeanExceedsUnfloored) {
+  // The floor at zero removes negative excursions: mean goes up.
+  const auto floored = exact_score_pmf(0.35, 100, true);
+  const auto unfloored = exact_score_pmf(0.35, 100, false);
+  EXPECT_GT(floored.mean(), unfloored.mean());
+}
+
+TEST(ExactPmf, DeterministicCases) {
+  // p0 = 1 (always active): score pinned at 0 with floor.
+  const auto act = exact_score_pmf(1.0, 30, true);
+  EXPECT_NEAR(act.prob_at(0), 1.0, 1e-12);
+  // p0 = 0 (never active): score = 4t exactly.
+  const auto inact = exact_score_pmf(0.0, 30, true);
+  EXPECT_NEAR(inact.prob_at(120), 1.0, 1e-12);
+}
+
+TEST(ExactPmf, CdfMonotone) {
+  const auto pmf = exact_score_pmf(0.4, 60, true);
+  double prev = -1.0;
+  for (long long s = 0; s <= 240; s += 10) {
+    const double c = pmf.cdf(s);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(pmf.cdf(240), 1.0, 1e-12);
+}
+
+TEST(ExactPmf, GaussianLimitShape) {
+  // For large t the unfloored pmf approaches a Gaussian with the exact
+  // moments: compare the standardized cdf at a few z-scores.
+  const std::size_t t = 2000;
+  const auto pmf = exact_score_pmf(0.5, t, false);
+  const double mu = pmf.mean();
+  const double sd = std::sqrt(pmf.variance());
+  for (double z : {-1.0, 0.0, 1.0}) {
+    const auto x = static_cast<long long>(std::llround(mu + z * sd));
+    EXPECT_NEAR(pmf.cdf(x), leak::num::normal_cdf(z), 0.01) << z;
+  }
+}
+
+TEST(ExactPmf, InvalidArgsThrow) {
+  EXPECT_THROW(exact_score_pmf(-0.1, 10, true), std::invalid_argument);
+  EXPECT_THROW(exact_score_pmf(0.5, 10, true, 0), std::invalid_argument);
+}
+
+// Property sweep over p0: floored pmf mass at 0 decreases in (1-p0).
+class FloorMass : public ::testing::TestWithParam<double> {};
+
+TEST_P(FloorMass, MassAtZeroDecreasingInInactivity) {
+  const double p0 = GetParam();
+  const auto more_active = exact_score_pmf(p0, 80, true);
+  const auto less_active = exact_score_pmf(p0 - 0.1, 80, true);
+  EXPECT_GE(more_active.prob_at(0), less_active.prob_at(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(P0Grid, FloorMass,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace leak::bouncing

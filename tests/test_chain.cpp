@@ -1,0 +1,233 @@
+// Tests for chain data types, the block tree and the validator registry.
+#include <gtest/gtest.h>
+
+#include "src/chain/block.hpp"
+#include "src/chain/blocktree.hpp"
+#include "src/chain/registry.hpp"
+
+namespace leak::chain {
+namespace {
+
+TEST(Types, SlotEpochArithmetic) {
+  EXPECT_EQ(epoch_of(Slot{0}), Epoch{0});
+  EXPECT_EQ(epoch_of(Slot{31}), Epoch{0});
+  EXPECT_EQ(epoch_of(Slot{32}), Epoch{1});
+  EXPECT_EQ(Epoch{2}.start_slot(), Slot{64});
+  EXPECT_EQ(Epoch{2}.end_slot(), Slot{95});
+  EXPECT_TRUE(Slot{64}.is_epoch_boundary());
+  EXPECT_FALSE(Slot{65}.is_epoch_boundary());
+}
+
+TEST(Types, GweiSaturatesAtZero) {
+  Gwei a = Gwei::from_eth(1.0);
+  Gwei b = Gwei::from_eth(2.0);
+  EXPECT_EQ((a - b).value(), 0u);
+  EXPECT_DOUBLE_EQ((b - a).eth(), 1.0);
+  EXPECT_DOUBLE_EQ(Gwei::from_eth(32.0).eth(), 32.0);
+}
+
+TEST(BlockTest, IdDependsOnContent) {
+  const Digest parent{};
+  const Block a = Block::make(parent, Slot{1}, ValidatorIndex{0});
+  const Block b = Block::make(parent, Slot{2}, ValidatorIndex{0});
+  const Block c = Block::make(parent, Slot{1}, ValidatorIndex{1});
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(a.id, c.id);
+  EXPECT_EQ(a.id, Block::make(parent, Slot{1}, ValidatorIndex{0}).id);
+}
+
+TEST(AttestationTest, SigningRootCoversVotes) {
+  Attestation a;
+  a.attester = ValidatorIndex{1};
+  a.slot = Slot{5};
+  Attestation b = a;
+  b.target.epoch = Epoch{3};
+  EXPECT_NE(a.signing_root(), b.signing_root());
+}
+
+TEST(AttestationTest, SignVerify) {
+  crypto::KeyRegistry reg;
+  const auto keys = reg.generate(2, 1);
+  Attestation a;
+  a.attester = ValidatorIndex{1};
+  a.slot = Slot{4};
+  a.sign(keys[1]);
+  EXPECT_TRUE(reg.verify(a.signing_root(), a.signature));
+}
+
+TEST(Slashable, DoubleVoteDetected) {
+  Attestation a, b;
+  a.attester = b.attester = ValidatorIndex{7};
+  a.target.epoch = b.target.epoch = Epoch{4};
+  a.target.block = crypto::sha256("chain A");
+  b.target.block = crypto::sha256("chain B");
+  EXPECT_TRUE(is_slashable_pair(a, b));
+}
+
+TEST(Slashable, SameDataNotSlashable) {
+  Attestation a;
+  a.attester = ValidatorIndex{7};
+  a.target.epoch = Epoch{4};
+  EXPECT_FALSE(is_slashable_pair(a, a));
+}
+
+TEST(Slashable, SurroundVoteDetected) {
+  Attestation outer, inner;
+  outer.attester = inner.attester = ValidatorIndex{2};
+  outer.source.epoch = Epoch{1};
+  outer.target.epoch = Epoch{6};
+  inner.source.epoch = Epoch{2};
+  inner.target.epoch = Epoch{5};
+  EXPECT_TRUE(is_slashable_pair(outer, inner));
+  EXPECT_TRUE(is_slashable_pair(inner, outer));
+}
+
+TEST(Slashable, DifferentValidatorsNever) {
+  Attestation a, b;
+  a.attester = ValidatorIndex{1};
+  b.attester = ValidatorIndex{2};
+  a.target.epoch = b.target.epoch = Epoch{4};
+  b.target.block = crypto::sha256("other");
+  EXPECT_FALSE(is_slashable_pair(a, b));
+}
+
+TEST(Slashable, AdjacentEpochsNotSurround) {
+  Attestation a, b;
+  a.attester = b.attester = ValidatorIndex{1};
+  a.source.epoch = Epoch{1};
+  a.target.epoch = Epoch{2};
+  b.source.epoch = Epoch{2};
+  b.target.epoch = Epoch{3};
+  EXPECT_FALSE(is_slashable_pair(a, b));
+}
+
+class TreeFixture : public ::testing::Test {
+ protected:
+  BlockTree tree;
+
+  Block add(const Digest& parent, std::uint64_t slot, std::uint32_t proposer) {
+    const Block b = Block::make(parent, Slot{slot}, ValidatorIndex{proposer});
+    tree.insert(b);
+    return b;
+  }
+};
+
+TEST_F(TreeFixture, GenesisPresent) {
+  EXPECT_TRUE(tree.contains(tree.genesis_id()));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.genesis().slot, Slot{0});
+}
+
+TEST_F(TreeFixture, InsertAndLookup) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  EXPECT_TRUE(tree.contains(b1.id));
+  EXPECT_EQ(tree.at(b1.id).parent, tree.genesis_id());
+  EXPECT_EQ(tree.children(tree.genesis_id()).size(), 1u);
+}
+
+TEST_F(TreeFixture, DuplicateInsertIsNoop) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  EXPECT_FALSE(tree.insert(b1));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST_F(TreeFixture, UnknownParentThrows) {
+  const Block orphan = Block::make(crypto::sha256("nowhere"), Slot{5},
+                                   ValidatorIndex{0});
+  EXPECT_THROW(tree.insert(orphan), std::invalid_argument);
+}
+
+TEST_F(TreeFixture, NonIncreasingSlotThrows) {
+  const Block b1 = add(tree.genesis_id(), 3, 0);
+  const Block bad = Block::make(b1.id, Slot{3}, ValidatorIndex{1});
+  EXPECT_THROW(tree.insert(bad), std::invalid_argument);
+}
+
+TEST_F(TreeFixture, AncestryOnFork) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  const Block a2 = add(b1.id, 2, 1);
+  const Block b2 = add(b1.id, 3, 2);  // fork
+  const Block a3 = add(a2.id, 4, 3);
+  EXPECT_TRUE(tree.is_ancestor(b1.id, a3.id));
+  EXPECT_TRUE(tree.is_ancestor(tree.genesis_id(), b2.id));
+  EXPECT_FALSE(tree.is_ancestor(b2.id, a3.id));
+  EXPECT_FALSE(tree.is_ancestor(a2.id, b2.id));
+  EXPECT_TRUE(tree.is_ancestor(a3.id, a3.id));
+}
+
+TEST_F(TreeFixture, AncestorAtSlot) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  const Block b2 = add(b1.id, 5, 1);
+  const Block b3 = add(b2.id, 40, 2);
+  EXPECT_EQ(tree.ancestor_at_slot(b3.id, Slot{39}), b2.id);
+  EXPECT_EQ(tree.ancestor_at_slot(b3.id, Slot{40}), b3.id);
+  EXPECT_EQ(tree.ancestor_at_slot(b3.id, Slot{1}), b1.id);
+  EXPECT_EQ(tree.ancestor_at_slot(b3.id, Slot{0}), tree.genesis_id());
+}
+
+TEST_F(TreeFixture, ChainToGenesisFirst) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  const Block b2 = add(b1.id, 2, 1);
+  const auto chain = tree.chain_to(b2.id);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], tree.genesis_id());
+  EXPECT_EQ(chain[2], b2.id);
+}
+
+TEST_F(TreeFixture, LeavesOnFork) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  add(b1.id, 2, 1);
+  add(b1.id, 3, 2);
+  EXPECT_EQ(tree.leaves().size(), 2u);
+}
+
+TEST_F(TreeFixture, CheckpointOnBranchUsesBoundaryOrEarlier) {
+  const Block b1 = add(tree.genesis_id(), 1, 0);
+  const Block b32 = add(b1.id, 32, 1);  // exactly at epoch-1 boundary
+  const Block b40 = add(b32.id, 40, 2);
+  const Checkpoint cp1 = tree.checkpoint_on_branch(b40.id, Epoch{1});
+  EXPECT_EQ(cp1.block, b32.id);
+  EXPECT_EQ(cp1.epoch, Epoch{1});
+  // Epoch 2 boundary (slot 64) is empty: latest ancestor applies.
+  const Block b70 = add(b40.id, 70, 3);
+  const Checkpoint cp2 = tree.checkpoint_on_branch(b70.id, Epoch{2});
+  EXPECT_EQ(cp2.block, b40.id);
+}
+
+TEST(Registry, InitialBalances) {
+  ValidatorRegistry reg(4);
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_DOUBLE_EQ(reg.at(ValidatorIndex{0}).balance.eth(), 32.0);
+  EXPECT_DOUBLE_EQ(reg.total_active_balance(Epoch{0}).eth(), 128.0);
+}
+
+TEST(Registry, EjectionRemovesFromActiveSet) {
+  ValidatorRegistry reg(3);
+  reg.eject(ValidatorIndex{1}, Epoch{5});
+  EXPECT_TRUE(reg.is_active(ValidatorIndex{1}, Epoch{4}));
+  EXPECT_FALSE(reg.is_active(ValidatorIndex{1}, Epoch{5}));
+  EXPECT_DOUBLE_EQ(reg.total_active_balance(Epoch{5}).eth(), 64.0);
+}
+
+TEST(Registry, EjectionIdempotentKeepsFirstEpoch) {
+  ValidatorRegistry reg(2);
+  reg.eject(ValidatorIndex{0}, Epoch{3});
+  reg.eject(ValidatorIndex{0}, Epoch{9});
+  EXPECT_FALSE(reg.is_active(ValidatorIndex{0}, Epoch{3}));
+}
+
+TEST(Registry, BalanceWherePredicate) {
+  ValidatorRegistry reg(4);
+  reg.at(ValidatorIndex{2}).balance = Gwei::from_eth(10.0);
+  const Gwei low = reg.balance_where([](ValidatorIndex, const ValidatorRecord& r) {
+    return r.balance < Gwei::from_eth(32.0);
+  });
+  EXPECT_DOUBLE_EQ(low.eth(), 10.0);
+}
+
+TEST(Registry, ZeroValidatorsThrows) {
+  EXPECT_THROW(ValidatorRegistry(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leak::chain

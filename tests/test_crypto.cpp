@@ -1,0 +1,188 @@
+// Tests for SHA-256 (against FIPS vectors), the simulated signature
+// scheme, aggregation and Merkle proofs.
+#include <gtest/gtest.h>
+
+#include "src/crypto/keys.hpp"
+#include "src/crypto/merkle.hpp"
+#include "src/crypto/sha256.hpp"
+
+namespace leak::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("hello ");
+  h.update("world");
+  EXPECT_EQ(h.finalize(), sha256("hello world"));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte message exercises the padding-into-second-block path.
+  const std::string m(64, 'x');
+  Sha256 h;
+  h.update(m);
+  EXPECT_EQ(h.finalize(), sha256(m));
+  // 55/56/57 bytes bracket the length-field boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 65u}) {
+    const std::string s(len, 'y');
+    Sha256 h2;
+    h2.update(s);
+    EXPECT_EQ(h2.finalize(), sha256(s)) << len;
+  }
+}
+
+TEST(Sha256Test, ShortIdIsPrefix) {
+  const Digest d = sha256("abc");
+  const std::uint64_t id = short_id(d);
+  EXPECT_EQ(id >> 56, d[0]);
+  EXPECT_EQ((id >> 48) & 0xff, d[1]);
+}
+
+TEST(Keys, DeterministicDerivation) {
+  const auto a = KeyPair::derive(ValidatorIndex{3}, 42);
+  const auto b = KeyPair::derive(ValidatorIndex{3}, 42);
+  EXPECT_EQ(a.public_key(), b.public_key());
+  const auto c = KeyPair::derive(ValidatorIndex{4}, 42);
+  EXPECT_NE(a.public_key(), c.public_key());
+}
+
+TEST(Keys, SignVerifyRoundTrip) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(8, 7);
+  const Digest msg = sha256("attestation");
+  const Signature sig = pairs[5].sign(msg);
+  EXPECT_TRUE(reg.verify(msg, sig));
+}
+
+TEST(Keys, WrongMessageRejected) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(4, 7);
+  const Signature sig = pairs[1].sign(sha256("m1"));
+  EXPECT_FALSE(reg.verify(sha256("m2"), sig));
+}
+
+TEST(Keys, ForgedSignerRejected) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(4, 7);
+  Signature sig = pairs[1].sign(sha256("m"));
+  sig.signer = ValidatorIndex{2};  // claim someone else's identity
+  EXPECT_FALSE(reg.verify(sha256("m"), sig));
+}
+
+TEST(Keys, UnknownSignerRejected) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(2, 7);
+  Signature sig = pairs[0].sign(sha256("m"));
+  sig.signer = ValidatorIndex{99};
+  EXPECT_FALSE(reg.verify(sha256("m"), sig));
+}
+
+TEST(Aggregate, CollectsAndVerifies) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(10, 3);
+  const Digest msg = sha256("vote");
+  AggregateSignature agg;
+  for (const auto& kp : pairs) agg.add(kp.sign(msg));
+  EXPECT_EQ(agg.count(), 10u);
+  EXPECT_TRUE(agg.verify(msg, reg));
+}
+
+TEST(Aggregate, DeduplicatesSigners) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(3, 3);
+  const Digest msg = sha256("vote");
+  AggregateSignature agg;
+  agg.add(pairs[1].sign(msg));
+  agg.add(pairs[1].sign(msg));
+  EXPECT_EQ(agg.count(), 1u);
+}
+
+TEST(Aggregate, SignersSorted) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(5, 3);
+  const Digest msg = sha256("vote");
+  AggregateSignature agg;
+  agg.add(pairs[4].sign(msg));
+  agg.add(pairs[0].sign(msg));
+  agg.add(pairs[2].sign(msg));
+  const auto& s = agg.signers();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(Aggregate, BadConstituentFailsVerification) {
+  KeyRegistry reg;
+  const auto pairs = reg.generate(3, 3);
+  const Digest msg = sha256("vote");
+  AggregateSignature agg;
+  agg.add(pairs[0].sign(msg));
+  Signature forged = pairs[1].sign(sha256("other"));
+  agg.add(forged);
+  EXPECT_FALSE(agg.verify(msg, reg));
+}
+
+TEST(Merkle, EmptyAndSingle) {
+  EXPECT_EQ(merkle_root({}), sha256(std::string_view{}));
+  const Digest leaf = sha256("a");
+  EXPECT_EQ(merkle_root({leaf}), leaf);
+}
+
+TEST(Merkle, PairRoot) {
+  const Digest a = sha256("a"), b = sha256("b");
+  EXPECT_EQ(merkle_root({a, b}), sha256_pair(a, b));
+}
+
+TEST(Merkle, OddLayerDuplicatesLast) {
+  const Digest a = sha256("a"), b = sha256("b"), c = sha256("c");
+  const Digest expect = sha256_pair(sha256_pair(a, b), sha256_pair(c, c));
+  EXPECT_EQ(merkle_root({a, b, c}), expect);
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, AllLeavesProve) {
+  const std::size_t n = GetParam();
+  std::vector<Digest> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(sha256("leaf" + std::to_string(i)));
+  }
+  const Digest root = merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = merkle_prove(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], proof, root)) << "leaf " << i;
+    // A wrong leaf must not verify.
+    EXPECT_FALSE(merkle_verify(sha256("bogus"), proof, root));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33));
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  EXPECT_THROW(merkle_prove({sha256("x")}, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace leak::crypto

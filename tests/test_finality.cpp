@@ -1,0 +1,176 @@
+// Tests for FFG justification/finalization and the safety monitor.
+#include <gtest/gtest.h>
+
+#include "src/chain/blocktree.hpp"
+#include "src/finality/ffg.hpp"
+#include "src/finality/safety.hpp"
+
+namespace leak::finality {
+namespace {
+
+using chain::Block;
+using chain::BlockTree;
+using chain::ValidatorRegistry;
+
+class FfgFixture : public ::testing::Test {
+ protected:
+  FfgFixture()
+      : registry(9),
+        genesis{tree.genesis_id(), Epoch{0}},
+        ffg(registry, genesis) {}
+
+  Checkpoint make_checkpoint(Epoch e, const std::string& tag) {
+    // A distinct synthetic block id per (epoch, tag).
+    return Checkpoint{crypto::sha256(tag + std::to_string(e.value())), e};
+  }
+
+  void vote(std::uint32_t who, Checkpoint source, Checkpoint target) {
+    Attestation a;
+    a.attester = ValidatorIndex{who};
+    a.slot = target.epoch.start_slot();
+    a.source = source;
+    a.target = target;
+    ffg.on_checkpoint_vote(a);
+  }
+
+  BlockTree tree;
+  ValidatorRegistry registry;
+  Checkpoint genesis;
+  FfgTracker ffg;
+};
+
+TEST_F(FfgFixture, GenesisJustifiedAndFinalized) {
+  EXPECT_EQ(ffg.justified(), genesis);
+  EXPECT_EQ(ffg.finalized(), genesis);
+  EXPECT_TRUE(ffg.is_justified(genesis));
+}
+
+TEST_F(FfgFixture, SupermajorityJustifies) {
+  const Checkpoint t1 = make_checkpoint(Epoch{1}, "a");
+  for (std::uint32_t i = 0; i < 7; ++i) vote(i, genesis, t1);  // 7/9 > 2/3
+  const auto newly = ffg.process_epoch(Epoch{1});
+  ASSERT_TRUE(newly.has_value());
+  EXPECT_EQ(*newly, t1);
+  EXPECT_EQ(ffg.justified(), t1);
+  // Genesis (source, epoch 0) is consecutive with target epoch 1:
+  // finalization of genesis happened already; finalized stays at epoch 0.
+  EXPECT_EQ(ffg.finalized(), genesis);
+}
+
+TEST_F(FfgFixture, ExactTwoThirdsIsNotEnough) {
+  const Checkpoint t1 = make_checkpoint(Epoch{1}, "a");
+  for (std::uint32_t i = 0; i < 6; ++i) vote(i, genesis, t1);  // exactly 2/3
+  EXPECT_FALSE(ffg.process_epoch(Epoch{1}).has_value());
+  EXPECT_EQ(ffg.justified(), genesis);
+}
+
+TEST_F(FfgFixture, ConsecutiveJustificationFinalizes) {
+  const Checkpoint t1 = make_checkpoint(Epoch{1}, "a");
+  const Checkpoint t2 = make_checkpoint(Epoch{2}, "a");
+  for (std::uint32_t i = 0; i < 7; ++i) vote(i, genesis, t1);
+  ffg.process_epoch(Epoch{1});
+  for (std::uint32_t i = 0; i < 7; ++i) vote(i, t1, t2);
+  ffg.process_epoch(Epoch{2});
+  EXPECT_EQ(ffg.justified(), t2);
+  EXPECT_EQ(ffg.finalized(), t1);  // two consecutive justified checkpoints
+  ASSERT_EQ(ffg.finalized_chain().size(), 2u);
+  EXPECT_EQ(ffg.finalized_chain().back(), t1);
+}
+
+TEST_F(FfgFixture, SkippedEpochJustifiesButDoesNotFinalize) {
+  // Justification every other epoch: no finalization (Section 3.2).
+  const Checkpoint t2 = make_checkpoint(Epoch{2}, "a");
+  for (std::uint32_t i = 0; i < 7; ++i) vote(i, genesis, t2);
+  ffg.process_epoch(Epoch{2});
+  EXPECT_EQ(ffg.justified(), t2);
+  EXPECT_EQ(ffg.finalized(), genesis);
+  const Checkpoint t4 = make_checkpoint(Epoch{4}, "a");
+  for (std::uint32_t i = 0; i < 7; ++i) vote(i, t2, t4);
+  ffg.process_epoch(Epoch{4});
+  EXPECT_EQ(ffg.justified(), t4);
+  EXPECT_EQ(ffg.finalized(), genesis);  // still nothing consecutive
+}
+
+TEST_F(FfgFixture, UnjustifiedSourceDoesNotCount) {
+  const Checkpoint fake = make_checkpoint(Epoch{1}, "fake");
+  const Checkpoint t2 = make_checkpoint(Epoch{2}, "a");
+  for (std::uint32_t i = 0; i < 9; ++i) vote(i, fake, t2);
+  EXPECT_FALSE(ffg.process_epoch(Epoch{2}).has_value());
+  EXPECT_DOUBLE_EQ(ffg.support(t2).eth(), 0.0);
+}
+
+TEST_F(FfgFixture, DuplicateVotesCountOnce) {
+  const Checkpoint t1 = make_checkpoint(Epoch{1}, "a");
+  for (int rep = 0; rep < 5; ++rep) vote(0, genesis, t1);
+  EXPECT_DOUBLE_EQ(ffg.support(t1).eth(), 32.0);
+}
+
+TEST_F(FfgFixture, EquivocatingTargetCountsFirstOnly) {
+  const Checkpoint t1a = make_checkpoint(Epoch{1}, "a");
+  const Checkpoint t1b = make_checkpoint(Epoch{1}, "b");
+  vote(0, genesis, t1a);
+  vote(0, genesis, t1b);  // same epoch, different target: ignored
+  EXPECT_DOUBLE_EQ(ffg.support(t1a).eth(), 32.0);
+  EXPECT_DOUBLE_EQ(ffg.support(t1b).eth(), 0.0);
+}
+
+TEST_F(FfgFixture, ExitedValidatorsDoNotSupport) {
+  const Checkpoint t1 = make_checkpoint(Epoch{1}, "a");
+  for (std::uint32_t i = 0; i < 7; ++i) vote(i, genesis, t1);
+  for (std::uint32_t i = 0; i < 4; ++i) registry.eject(ValidatorIndex{i}, Epoch{0});
+  // Only 3 of 5 remaining active validators voted: 96/160 < 2/3.
+  EXPECT_FALSE(ffg.process_epoch(Epoch{1}).has_value());
+}
+
+TEST_F(FfgFixture, StakeWeightedSupermajority) {
+  // One whale with 9x stake can justify with few allies.
+  registry.at(ValidatorIndex{0}).balance = Gwei::from_eth(320.0);
+  const Checkpoint t1 = make_checkpoint(Epoch{1}, "a");
+  vote(0, genesis, t1);
+  vote(1, genesis, t1);
+  // Support 352 of 576 total = 61% < 2/3: not yet.
+  EXPECT_FALSE(ffg.process_epoch(Epoch{1}).has_value());
+  vote(2, genesis, t1);
+  vote(3, genesis, t1);
+  // 416/576 = 72% > 2/3.
+  EXPECT_TRUE(ffg.process_epoch(Epoch{1}).has_value());
+}
+
+TEST(SafetyMonitorTest, PrefixCompatibleReportsAreFine) {
+  BlockTree tree;
+  const Block b1 = Block::make(tree.genesis_id(), Slot{32}, ValidatorIndex{0});
+  tree.insert(b1);
+  const Block b2 = Block::make(b1.id, Slot{64}, ValidatorIndex{1});
+  tree.insert(b2);
+  SafetyMonitor mon(tree);
+  EXPECT_FALSE(mon.report(Checkpoint{b1.id, Epoch{1}}).has_value());
+  EXPECT_FALSE(mon.report(Checkpoint{b2.id, Epoch{2}}).has_value());
+  EXPECT_FALSE(mon.violated());
+}
+
+TEST(SafetyMonitorTest, ConflictingFinalizationDetected) {
+  BlockTree tree;
+  const Block a = Block::make(tree.genesis_id(), Slot{32}, ValidatorIndex{0});
+  const Block b = Block::make(tree.genesis_id(), Slot{33}, ValidatorIndex{1});
+  tree.insert(a);
+  tree.insert(b);
+  SafetyMonitor mon(tree);
+  EXPECT_FALSE(mon.report(Checkpoint{a.id, Epoch{1}}).has_value());
+  const auto v = mon.report(Checkpoint{b.id, Epoch{1}});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(mon.violated());
+  EXPECT_EQ(v->a.block, a.id);
+  EXPECT_EQ(v->b.block, b.id);
+}
+
+TEST(SafetyMonitorTest, SameCheckpointTwiceIsFine) {
+  BlockTree tree;
+  const Block a = Block::make(tree.genesis_id(), Slot{32}, ValidatorIndex{0});
+  tree.insert(a);
+  SafetyMonitor mon(tree);
+  mon.report(Checkpoint{a.id, Epoch{1}});
+  EXPECT_FALSE(mon.report(Checkpoint{a.id, Epoch{1}}).has_value());
+}
+
+}  // namespace
+}  // namespace leak::finality

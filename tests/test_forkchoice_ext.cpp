@@ -1,0 +1,84 @@
+// Tests for fork-choice extensions: proposer boost and equivocation
+// discounting of slashed validators.
+#include <gtest/gtest.h>
+
+#include "src/chain/forkchoice.hpp"
+
+namespace leak::chain {
+namespace {
+
+class BoostFixture : public ::testing::Test {
+ protected:
+  BoostFixture() : registry(10), fc(tree, registry) {}
+
+  Block add(const Digest& parent, std::uint64_t slot, std::uint32_t p) {
+    const Block b = Block::make(parent, Slot{slot}, ValidatorIndex{p});
+    tree.insert(b);
+    return b;
+  }
+
+  BlockTree tree;
+  ValidatorRegistry registry;
+  ForkChoice fc;
+};
+
+TEST_F(BoostFixture, BoostFlipsCloseRace) {
+  const Block a = add(tree.genesis_id(), 1, 0);
+  const Block b = add(tree.genesis_id(), 2, 1);
+  // 3 vs 2 votes for a.
+  fc.on_attestation(ValidatorIndex{0}, a.id, Slot{3});
+  fc.on_attestation(ValidatorIndex{1}, a.id, Slot{3});
+  fc.on_attestation(ValidatorIndex{2}, a.id, Slot{3});
+  fc.on_attestation(ValidatorIndex{3}, b.id, Slot{3});
+  fc.on_attestation(ValidatorIndex{4}, b.id, Slot{3});
+  EXPECT_EQ(fc.head(tree.genesis_id(), Epoch{0}), a.id);
+  // A 40% boost (4 validators' worth out of 10) flips the race to b.
+  fc.set_proposer_boost(b.id, 40);
+  EXPECT_EQ(fc.head(tree.genesis_id(), Epoch{0}), b.id);
+  fc.clear_proposer_boost();
+  EXPECT_EQ(fc.head(tree.genesis_id(), Epoch{0}), a.id);
+}
+
+TEST_F(BoostFixture, BoostAppliesToAncestors) {
+  const Block a = add(tree.genesis_id(), 1, 0);
+  const Block a2 = add(a.id, 2, 1);
+  fc.set_proposer_boost(a2.id, 40);
+  // The boost weight counts inside every subtree containing a2.
+  EXPECT_GT(fc.subtree_weight(a.id, Epoch{0}).value(), 0u);
+  EXPECT_GT(fc.subtree_weight(a2.id, Epoch{0}).value(), 0u);
+}
+
+TEST_F(BoostFixture, BoostForUnknownBlockIgnored) {
+  const Block a = add(tree.genesis_id(), 1, 0);
+  fc.set_proposer_boost(crypto::sha256("never seen"), 40);
+  EXPECT_EQ(fc.head(tree.genesis_id(), Epoch{0}), a.id);
+  EXPECT_EQ(fc.subtree_weight(a.id, Epoch{0}).value(), 0u);
+}
+
+TEST_F(BoostFixture, SlashedVotesDiscounted) {
+  const Block a = add(tree.genesis_id(), 1, 0);
+  const Block b = add(tree.genesis_id(), 2, 1);
+  fc.on_attestation(ValidatorIndex{0}, a.id, Slot{3});
+  fc.on_attestation(ValidatorIndex{1}, b.id, Slot{3});
+  fc.on_attestation(ValidatorIndex{2}, b.id, Slot{3});
+  EXPECT_EQ(fc.head(tree.genesis_id(), Epoch{0}), b.id);
+  // Slashing the b voters removes their weight even while they remain
+  // formally in the registry (exit is delayed).
+  registry.at(ValidatorIndex{1}).slashed = true;
+  registry.at(ValidatorIndex{2}).slashed = true;
+  EXPECT_EQ(fc.head(tree.genesis_id(), Epoch{0}), a.id);
+}
+
+TEST_F(BoostFixture, EquivocationDefenseEndToEnd) {
+  // An equivocator voted both sides via two views; once slashed its
+  // influence vanishes from both subtrees.
+  const Block a = add(tree.genesis_id(), 1, 0);
+  const Block b = add(tree.genesis_id(), 2, 1);
+  fc.on_attestation(ValidatorIndex{5}, a.id, Slot{3});
+  registry.at(ValidatorIndex{5}).slashed = true;
+  EXPECT_EQ(fc.subtree_weight(a.id, Epoch{0}).value(), 0u);
+  EXPECT_EQ(fc.subtree_weight(b.id, Epoch{0}).value(), 0u);
+}
+
+}  // namespace
+}  // namespace leak::chain

@@ -1,0 +1,229 @@
+// Randomized property tests: structural invariants under arbitrary
+// (seeded, reproducible) operation sequences across the substrate
+// modules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/chain/attestation_pool.hpp"
+#include "src/chain/blocktree.hpp"
+#include "src/finality/ffg.hpp"
+#include "src/net/event_queue.hpp"
+#include "src/net/network.hpp"
+#include "src/support/codec.hpp"
+#include "src/support/random.hpp"
+#include "src/support/stats.hpp"
+#include "src/bouncing/walk.hpp"
+
+namespace leak {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, BlockTreeInvariants) {
+  Rng rng(GetParam());
+  chain::BlockTree tree;
+  std::vector<chain::Digest> known{tree.genesis_id()};
+  std::uint64_t next_slot = 1;
+  for (int i = 0; i < 300; ++i) {
+    const auto parent = known[rng.uniform_index(known.size())];
+    const auto b = chain::Block::make(
+        parent, Slot{next_slot++},
+        ValidatorIndex{static_cast<std::uint32_t>(rng.uniform_index(16))});
+    tree.insert(b);
+    known.push_back(b.id);
+  }
+  EXPECT_EQ(tree.size(), known.size());
+  // Every known block's chain starts at genesis and ends at the block;
+  // every element of the chain is an ancestor of the block.
+  for (int i = 0; i < 20; ++i) {
+    const auto& id = known[rng.uniform_index(known.size())];
+    const auto chain = tree.chain_to(id);
+    EXPECT_EQ(chain.front(), tree.genesis_id());
+    EXPECT_EQ(chain.back(), id);
+    for (const auto& a : chain) {
+      EXPECT_TRUE(tree.is_ancestor(a, id));
+    }
+    // Slots strictly increase along the chain.
+    for (std::size_t k = 1; k < chain.size(); ++k) {
+      EXPECT_LT(tree.at(chain[k - 1]).slot, tree.at(chain[k]).slot);
+    }
+  }
+  // Leaves are exactly the blocks with no children.
+  for (const auto& leaf : tree.leaves()) {
+    EXPECT_TRUE(tree.children(leaf).empty());
+  }
+}
+
+TEST_P(FuzzSeeds, FfgMonotonicityUnderRandomVotes) {
+  Rng rng(GetParam());
+  chain::ValidatorRegistry registry(32);
+  chain::BlockTree tree;
+  const chain::Checkpoint genesis{tree.genesis_id(), Epoch{0}};
+  finality::FfgTracker ffg(registry, genesis);
+
+  std::uint64_t prev_finalized = 0;
+  // Random vote streams: random subsets vote for random targets with
+  // random sources, across 40 epochs.
+  std::vector<chain::Checkpoint> checkpoints{genesis};
+  for (std::uint64_t e = 1; e <= 40; ++e) {
+    const chain::Checkpoint target{
+        crypto::sha256("cp" + std::to_string(e)), Epoch{e}};
+    checkpoints.push_back(target);
+    const std::size_t voters = rng.uniform_index(33);
+    for (std::size_t v = 0; v < voters; ++v) {
+      chain::Attestation a;
+      a.attester = ValidatorIndex{static_cast<std::uint32_t>(v)};
+      a.slot = Epoch{e}.start_slot();
+      a.source = checkpoints[rng.uniform_index(checkpoints.size())];
+      a.target = target;
+      ffg.on_checkpoint_vote(a);
+    }
+    ffg.process_epoch(Epoch{e});
+    // Invariants: finalized never regresses, finalized <= justified,
+    // justified target is actually marked justified.
+    EXPECT_GE(ffg.finalized().epoch.value(), prev_finalized);
+    prev_finalized = ffg.finalized().epoch.value();
+    EXPECT_LE(ffg.finalized().epoch, ffg.justified().epoch);
+    EXPECT_TRUE(ffg.is_justified(ffg.justified()));
+    // Support can never exceed the total stake.
+    EXPECT_LE(ffg.support(target).value(),
+              registry.total_active_balance(Epoch{e}).value());
+  }
+}
+
+TEST_P(FuzzSeeds, AttestationPoolAccounting) {
+  Rng rng(GetParam());
+  crypto::KeyRegistry keys;
+  const auto pairs = keys.generate(24, GetParam());
+  chain::AttestationPool pool;
+  std::size_t accepted = 0;
+  for (int i = 0; i < 400; ++i) {
+    chain::Attestation a;
+    const auto who = static_cast<std::uint32_t>(rng.uniform_index(24));
+    a.attester = ValidatorIndex{who};
+    a.slot = Slot{1 + rng.uniform_index(8)};
+    a.head = crypto::sha256("head" + std::to_string(rng.uniform_index(3)));
+    a.sign(pairs[who]);
+    if (rng.bernoulli(0.1)) a.signature.mac[0] ^= 0xff;  // corrupt some
+    accepted += pool.ingest(a, keys) ? 1 : 0;
+  }
+  EXPECT_EQ(pool.size(), accepted);
+  // Selection is sorted by participation and bounded.
+  const auto picked = pool.select_for_block(5);
+  EXPECT_LE(picked.size(), 5u);
+  for (std::size_t i = 1; i < picked.size(); ++i) {
+    EXPECT_GE(picked[i - 1].participation(), picked[i].participation());
+  }
+  // Total pooled count equals the sum over groups.
+  const auto all = pool.select_for_block(1000000);
+  std::size_t sum = 0;
+  for (const auto& g : all) sum += g.participation();
+  EXPECT_EQ(sum, pool.size());
+}
+
+TEST_P(FuzzSeeds, CodecRandomRoundTrips) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    codec::Writer w;
+    std::vector<std::uint64_t> u64s;
+    std::vector<std::vector<std::uint8_t>> blobs;
+    const int fields = 1 + static_cast<int>(rng.uniform_index(10));
+    for (int f = 0; f < fields; ++f) {
+      const std::uint64_t v = rng();
+      u64s.push_back(v);
+      w.put_u64(v);
+      std::vector<std::uint8_t> blob(rng.uniform_index(40));
+      for (auto& byte : blob) {
+        byte = static_cast<std::uint8_t>(rng.uniform_index(256));
+      }
+      blobs.push_back(blob);
+      w.put_blob(blob);
+    }
+    codec::Reader r(w.bytes());
+    for (int f = 0; f < fields; ++f) {
+      std::uint64_t v = 0;
+      std::vector<std::uint8_t> blob;
+      ASSERT_TRUE(r.get_u64(v));
+      ASSERT_TRUE(r.get_blob(blob));
+      EXPECT_EQ(v, u64s[static_cast<std::size_t>(f)]);
+      EXPECT_EQ(blob, blobs[static_cast<std::size_t>(f)]);
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST_P(FuzzSeeds, EventQueueExecutionOrder) {
+  Rng rng(GetParam());
+  net::EventQueue q;
+  std::vector<double> executed_at;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    q.schedule_at(t, [&executed_at, &q] {
+      executed_at.push_back(q.now());
+    });
+  }
+  q.run_all();
+  ASSERT_EQ(executed_at.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(executed_at.begin(), executed_at.end()));
+}
+
+TEST_P(FuzzSeeds, NetworkDeliversEverythingByGstPlusDelta) {
+  Rng rng(GetParam());
+  net::EventQueue q;
+  net::NetworkConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.gst = 50.0;
+  cfg.delta = 1.0;
+  cfg.seed = GetParam();
+  net::Network net(q, cfg);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    net.set_region(ValidatorIndex{i},
+                   rng.bernoulli(0.5) ? net::Region::kOne
+                                      : net::Region::kTwo);
+  }
+  std::size_t delivered = 0;
+  double last_time = 0.0;
+  net.set_deliver([&](ValidatorIndex, const net::Packet&) {
+    ++delivered;
+    last_time = std::max(last_time, q.now());
+  });
+  std::size_t sent = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto from =
+        ValidatorIndex{static_cast<std::uint32_t>(rng.uniform_index(12))};
+    net.broadcast(from, static_cast<std::uint64_t>(i));
+    ++sent;
+  }
+  q.run_until(100.0);
+  EXPECT_EQ(delivered, sent * 12);       // best-effort: nobody starves
+  EXPECT_LE(last_time, cfg.gst + cfg.delta);  // all in by GST + delta
+}
+
+TEST_P(FuzzSeeds, ScoreWalkPmfMatchesMonteCarlo) {
+  Rng rng(GetParam());
+  const double p0 = 0.2 + 0.6 * rng.uniform();
+  const std::size_t epochs = 60;
+  const auto pmf = bouncing::exact_score_pmf(p0, epochs, true);
+  // Monte Carlo of the same floored walk.
+  RunningStats mc;
+  for (int path = 0; path < 20000; ++path) {
+    long long score = 0;
+    for (std::size_t t = 0; t < epochs; ++t) {
+      if (rng.bernoulli(p0)) {
+        score = std::max(score - 1, 0LL);
+      } else {
+        score += 4;
+      }
+    }
+    mc.add(static_cast<double>(score));
+  }
+  EXPECT_NEAR(mc.mean(), pmf.mean(), 4.0 * mc.stddev() / std::sqrt(20000.0))
+      << "p0=" << p0;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace leak

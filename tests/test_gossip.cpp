@@ -1,0 +1,128 @@
+// Tests for the gossip relay overlay.
+#include <gtest/gtest.h>
+
+#include "src/net/gossip.hpp"
+
+namespace leak::net {
+namespace {
+
+struct Rig {
+  EventQueue queue;
+  GossipNetwork net;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> delivered;
+
+  explicit Rig(GossipConfig cfg) : net(queue, cfg) {
+    net.set_handler([this](ValidatorIndex n, std::uint64_t id) {
+      delivered.emplace_back(n.value(), id);
+    });
+  }
+};
+
+GossipConfig cfg(std::uint32_t n, std::uint32_t fanout = 6) {
+  GossipConfig c;
+  c.num_nodes = n;
+  c.fanout = fanout;
+  return c;
+}
+
+TEST(Gossip, ReachesEveryNodeExactlyOnce) {
+  Rig rig(cfg(50));
+  rig.net.publish(ValidatorIndex{0}, 1);
+  rig.queue.run_until(60.0);
+  EXPECT_EQ(rig.delivered.size(), 50u);
+  EXPECT_EQ(rig.net.reach(1), 50u);
+  std::vector<bool> seen(50, false);
+  for (const auto& [node, id] : rig.delivered) {
+    EXPECT_FALSE(seen[node]) << "duplicate delivery to " << node;
+    seen[node] = true;
+  }
+}
+
+TEST(Gossip, FewerHopsThanFullBroadcastSquare) {
+  Rig rig(cfg(100, 6));
+  rig.net.publish(ValidatorIndex{3}, 9);
+  rig.queue.run_until(60.0);
+  EXPECT_EQ(rig.net.reach(9), 100u);
+  // Flooding with degree 6 costs ~O(6n) hops, far below n^2.
+  EXPECT_LT(rig.net.hops_sent(), 100u * 20u);
+}
+
+TEST(Gossip, MeshDegreeRespected) {
+  Rig rig(cfg(30, 4));
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(rig.net.peers(ValidatorIndex{i}).size(), 4u);
+    for (const auto p : rig.net.peers(ValidatorIndex{i})) {
+      EXPECT_NE(p.value(), i);  // no self-loops
+      EXPECT_LT(p.value(), 30u);
+    }
+  }
+}
+
+TEST(Gossip, SmallNetworksClampFanout) {
+  Rig rig(cfg(3, 10));
+  EXPECT_EQ(rig.net.peers(ValidatorIndex{0}).size(), 2u);
+  rig.net.publish(ValidatorIndex{0}, 1);
+  rig.queue.run_until(10.0);
+  EXPECT_EQ(rig.net.reach(1), 3u);
+}
+
+TEST(Gossip, LinkFilterPartitionsOverlay) {
+  // Split nodes into two halves and drop cross-half hops: messages stay
+  // confined to the origin's half (modulo mesh connectivity).
+  Rig rig(cfg(40, 6));
+  rig.net.set_link_filter([](ValidatorIndex a, ValidatorIndex b) {
+    return (a.value() < 20) == (b.value() < 20);
+  });
+  rig.net.publish(ValidatorIndex{0}, 5);
+  rig.queue.run_until(60.0);
+  for (const auto& [node, id] : rig.delivered) {
+    EXPECT_LT(node, 20u);
+  }
+  EXPECT_LE(rig.net.reach(5), 20u);
+}
+
+TEST(Gossip, MultiplePayloadsIndependent) {
+  Rig rig(cfg(25));
+  rig.net.publish(ValidatorIndex{0}, 1);
+  rig.net.publish(ValidatorIndex{7}, 2);
+  rig.queue.run_until(30.0);
+  EXPECT_EQ(rig.net.reach(1), 25u);
+  EXPECT_EQ(rig.net.reach(2), 25u);
+  EXPECT_EQ(rig.delivered.size(), 50u);
+}
+
+TEST(Gossip, RepublishIsIdempotent) {
+  Rig rig(cfg(20));
+  rig.net.publish(ValidatorIndex{0}, 1);
+  rig.queue.run_until(30.0);
+  const auto count = rig.delivered.size();
+  rig.net.publish(ValidatorIndex{0}, 1);
+  rig.queue.run_until(60.0);
+  EXPECT_EQ(rig.delivered.size(), count);
+}
+
+TEST(Gossip, PropagationLatencyBounded) {
+  Rig rig(cfg(64, 8));
+  double last = 0.0;
+  rig.net.set_handler([&](ValidatorIndex, std::uint64_t) {
+    last = std::max(last, rig.queue.now());
+  });
+  rig.net.publish(ValidatorIndex{0}, 1);
+  rig.queue.run_until(60.0);
+  // ~log_8(64) = 2 expected hop-depth; even with jitter it should be
+  // well under 20 max-hop delays.
+  EXPECT_LT(last, 0.2 * 20);
+}
+
+TEST(Gossip, InvalidConfigThrows) {
+  EventQueue q;
+  GossipConfig c;
+  c.num_nodes = 0;
+  EXPECT_THROW(GossipNetwork(q, c), std::invalid_argument);
+  c.num_nodes = 5;
+  c.fanout = 0;
+  EXPECT_THROW(GossipNetwork(q, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leak::net

@@ -1,0 +1,212 @@
+// Cross-module integration tests: analytic model vs protocol simulators,
+// end-to-end scenario outcomes matching Table 1, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytic/solvers.hpp"
+#include "src/analytic/tables.hpp"
+#include "src/bouncing/distribution.hpp"
+#include "src/bouncing/montecarlo.hpp"
+#include "src/sim/partition_sim.hpp"
+#include "src/sim/slot_sim.hpp"
+
+namespace leak {
+namespace {
+
+const analytic::AnalyticConfig kStated = analytic::AnalyticConfig::stated();
+
+// --- analytic vs discrete-protocol agreement across the beta0 grid ----
+
+class AnalyticVsSim : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnalyticVsSim, SlashableStrategyTimesAgree) {
+  const double beta0 = GetParam();
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 400;
+  cfg.beta0 = beta0;
+  cfg.p0 = 0.5;
+  cfg.strategy = sim::Strategy::kSlashable;
+  cfg.max_epochs = 6000;
+  const auto r = sim::run_partition_sim(cfg);
+  const double analytic_t =
+      analytic::time_to_supermajority_slashing(0.5, beta0, kStated);
+  ASSERT_GT(r.branch[0].supermajority_epoch, 0);
+  EXPECT_NEAR(static_cast<double>(r.branch[0].supermajority_epoch),
+              analytic_t, std::max(10.0, analytic_t * 0.015))
+      << "beta0=" << beta0;
+}
+
+TEST_P(AnalyticVsSim, SemiActiveStrategyTimesAgree) {
+  const double beta0 = GetParam();
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 400;
+  cfg.beta0 = beta0;
+  cfg.p0 = 0.5;
+  cfg.strategy = sim::Strategy::kSemiActiveFinalize;
+  cfg.max_epochs = 6000;
+  const auto r = sim::run_partition_sim(cfg);
+  const double analytic_t =
+      analytic::time_to_supermajority_semiactive(0.5, beta0, kStated);
+  ASSERT_GT(r.branch[0].supermajority_epoch, 0);
+  EXPECT_NEAR(static_cast<double>(r.branch[0].supermajority_epoch),
+              analytic_t, std::max(12.0, analytic_t * 0.02))
+      << "beta0=" << beta0;
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaGrid, AnalyticVsSim,
+                         ::testing::Values(0.10, 0.15, 0.20, 0.33));
+
+// --- Table 1 end-to-end: each scenario's qualitative outcome ----------
+
+TEST(Table1EndToEnd, Scenario51TwoFinalizedBranches) {
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 1000;
+  cfg.strategy = sim::Strategy::kNone;
+  cfg.max_epochs = 5000;
+  const auto r = sim::run_partition_sim(cfg);
+  EXPECT_GT(r.conflicting_finalization_epoch, 0);  // Safety lost
+}
+
+TEST(Table1EndToEnd, Scenario521FasterSafetyLossAndSlashable) {
+  // The epoch-level sim shows the speedup; the slot-level sim shows the
+  // strategy is slashable once communication is restored.
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 1000;
+  cfg.beta0 = 0.33;
+  cfg.strategy = sim::Strategy::kSlashable;
+  cfg.max_epochs = 2000;
+  const auto fast = sim::run_partition_sim(cfg);
+  EXPECT_GT(fast.conflicting_finalization_epoch, 0);
+  EXPECT_LT(fast.conflicting_finalization_epoch, 600);
+
+  sim::SlotSimConfig scfg;
+  scfg.n_honest = 30;
+  scfg.n_byzantine = 2;
+  scfg.epochs = 8;
+  scfg.p0 = 0.5;
+  scfg.gst_epoch = 4.0;
+  const auto slot = sim::SlotSim(scfg).run();
+  EXPECT_EQ(slot.slashed.size(), 2u);
+}
+
+TEST(Table1EndToEnd, Scenario522NonSlashableSafetyLoss) {
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 1000;
+  cfg.beta0 = 0.33;
+  cfg.strategy = sim::Strategy::kSemiActiveFinalize;
+  cfg.max_epochs = 2000;
+  const auto r = sim::run_partition_sim(cfg);
+  EXPECT_GT(r.conflicting_finalization_epoch, 0);
+  EXPECT_LT(r.conflicting_finalization_epoch, 700);
+  // Semi-active alternation never produces two attestations with the
+  // same target epoch: verify non-slashability structurally.
+  chain::Attestation a, b;
+  a.attester = b.attester = ValidatorIndex{1};
+  a.source.epoch = Epoch{2};
+  a.target.epoch = Epoch{3};  // active on branch 1 at epoch 3
+  b.source.epoch = Epoch{3};
+  b.target.epoch = Epoch{4};  // active on branch 2 at epoch 4
+  EXPECT_FALSE(chain::is_slashable_pair(a, b));
+}
+
+TEST(Table1EndToEnd, Scenario523BetaBeyondThird) {
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 600;
+  cfg.beta0 = 0.26;  // above the ~0.246 bound for the 16.75 threshold
+  cfg.strategy = sim::Strategy::kSemiActiveOverthrow;
+  cfg.max_epochs = 5000;
+  const auto r = sim::run_partition_sim(cfg);
+  EXPECT_TRUE(r.beta_exceeded_third_both);
+}
+
+TEST(Table1EndToEnd, Scenario53ProbabilisticThreshold) {
+  bouncing::McConfig cfg;
+  cfg.beta0 = 1.0 / 3.0;
+  cfg.paths = 1500;
+  cfg.epochs = 2500;
+  cfg.seed = 31;
+  const auto r = bouncing::run_bouncing_mc(cfg, {2500});
+  EXPECT_GT(r.prob_beta_exceeds[0], 0.3);  // "probably": near one half
+}
+
+// --- failure injection -------------------------------------------------
+
+TEST(FailureInjection, LatePartitionHealStillSafeBeforeBound) {
+  // Partition healing before the leak can finalize anything conflicting
+  // preserves Safety end to end (slot-level protocol run).
+  for (double gst_epoch : {2.0, 6.0}) {
+    sim::SlotSimConfig cfg;
+    cfg.n_honest = 24;
+    cfg.epochs = 10;
+    cfg.p0 = 0.5;
+    cfg.gst_epoch = gst_epoch;
+    const auto r = sim::SlotSim(cfg).run();
+    EXPECT_EQ(r.safety_violations, 0u) << gst_epoch;
+  }
+}
+
+TEST(FailureInjection, LopsidedPartitionKeepsMajoritySideLive) {
+  // p0 = 0.8: region one holds > 2/3 of stake and keeps finalizing
+  // through the partition; region two stalls; no safety violation.
+  sim::SlotSimConfig cfg;
+  cfg.n_honest = 30;
+  cfg.epochs = 8;
+  cfg.p0 = 0.8;
+  cfg.gst_epoch = 100.0;
+  const auto r = sim::SlotSim(cfg).run();
+  EXPECT_GE(r.finalized_epoch[0], 5u);                  // region one
+  EXPECT_LE(r.finalized_epoch[cfg.n_honest - 1], 1u);   // region two
+  EXPECT_EQ(r.safety_violations, 0u);
+}
+
+TEST(FailureInjection, EjectionWaveEndsLeakEvenWithByzantineAbstention) {
+  // Even when Byzantine validators go fully silent (worst case for
+  // liveness), the ejection wave restores a supermajority of actives.
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = 1000;
+  cfg.beta0 = 0.3;
+  cfg.p0 = 0.5;
+  cfg.strategy = sim::Strategy::kNone;  // byzantine stake inactive forever
+  cfg.max_epochs = 5500;
+  const auto r = sim::run_partition_sim(cfg);
+  EXPECT_GT(r.branch[0].supermajority_epoch, 0);
+}
+
+// --- cross-validation: Eq 24 closed form vs Monte Carlo ---------------
+
+TEST(CrossValidation, Eq24VsMonteCarloAtMedian) {
+  // Compare at beta0 = 1/3 where the prediction (0.5) is variance-free.
+  const auto model = analytic::AnalyticConfig::paper();
+  bouncing::StakeLaw law(0.5, model);
+  const double closed =
+      bouncing::prob_beta_exceeds_third(3000.0, 1.0 / 3.0, law, model);
+  bouncing::McConfig cfg;
+  cfg.beta0 = 1.0 / 3.0;
+  cfg.paths = 2000;
+  cfg.epochs = 3000;
+  cfg.model = model;
+  const auto mc = bouncing::run_bouncing_mc(cfg, {3000});
+  EXPECT_NEAR(mc.prob_beta_exceeds[0], closed, 0.12);
+}
+
+TEST(CrossValidation, Fig2TrajectoriesDiscreteVsRegistry) {
+  // The analytic discrete recurrence and the Gwei-integer penalty engine
+  // produce the same inactive-stake trajectory within 0.5%.
+  chain::ValidatorRegistry reg(1);
+  penalties::SpecConfig spec = penalties::SpecConfig::paper();
+  spec.ejection_balance = Gwei{0};
+  penalties::InactivityTracker tracker(reg, spec);
+  auto cfg = analytic::AnalyticConfig::paper();
+  cfg.ejection_threshold = 0.0;
+  const auto traj =
+      analytic::simulate_discrete(analytic::Behavior::kInactive, 3000, cfg);
+  for (std::uint64_t t = 1; t <= 3000; ++t) {
+    tracker.process_epoch(Epoch{t}, Epoch{0}, {false});
+  }
+  EXPECT_NEAR(reg.at(ValidatorIndex{0}).balance.eth() / traj.stake[3000],
+              1.0, 5e-3);
+}
+
+}  // namespace
+}  // namespace leak

@@ -1,0 +1,213 @@
+// Tests for the discrete-event queue and the partitioned network model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/event_queue.hpp"
+#include "src/net/network.hpp"
+
+namespace leak::net {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTiesAtEqualTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  q.schedule_at(3.0, [&] { ++count; });
+  EXPECT_EQ(q.run_until(2.0), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, EventsMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until(2.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.clear();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+struct Rig {
+  EventQueue queue;
+  NetworkConfig cfg;
+  Network net;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> delivered;
+
+  explicit Rig(NetworkConfig c) : cfg(c), net(queue, c) {
+    net.set_deliver([this](ValidatorIndex to, const Packet& p) {
+      delivered.emplace_back(to.value(), p.payload_id);
+    });
+  }
+};
+
+TEST(NetworkTest, BroadcastReachesEveryoneNoPartition) {
+  NetworkConfig c;
+  c.num_nodes = 5;
+  c.gst = 0.0;
+  Rig rig(c);
+  rig.net.broadcast(ValidatorIndex{0}, 99);
+  rig.queue.run_until(10.0);
+  EXPECT_EQ(rig.delivered.size(), 5u);
+  for (const auto& [to, id] : rig.delivered) EXPECT_EQ(id, 99u);
+}
+
+TEST(NetworkTest, DeliveryWithinDelta) {
+  NetworkConfig c;
+  c.num_nodes = 3;
+  c.delta = 0.8;
+  Rig rig(c);
+  double max_seen = 0.0;
+  rig.net.set_deliver([&](ValidatorIndex, const Packet&) {
+    max_seen = std::max(max_seen, rig.queue.now());
+  });
+  rig.net.broadcast(ValidatorIndex{1}, 1);
+  rig.queue.run_until(10.0);
+  EXPECT_LE(max_seen, 0.8);
+  EXPECT_GT(max_seen, 0.0);
+}
+
+TEST(NetworkTest, PartitionBlocksCrossRegionUntilGst) {
+  NetworkConfig c;
+  c.num_nodes = 4;
+  c.gst = 100.0;
+  c.delta = 1.0;
+  Rig rig(c);
+  rig.net.set_region(ValidatorIndex{0}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{1}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{2}, Region::kTwo);
+  rig.net.set_region(ValidatorIndex{3}, Region::kTwo);
+
+  EXPECT_TRUE(rig.net.reachable(ValidatorIndex{0}, ValidatorIndex{1}));
+  EXPECT_FALSE(rig.net.reachable(ValidatorIndex{0}, ValidatorIndex{2}));
+
+  std::vector<double> times_to_2;
+  rig.net.set_deliver([&](ValidatorIndex to, const Packet&) {
+    if (to == ValidatorIndex{2}) times_to_2.push_back(rig.queue.now());
+  });
+  rig.net.broadcast(ValidatorIndex{0}, 7);
+  rig.queue.run_until(200.0);
+  // Best-effort broadcast: node 2 still gets it, but only after GST.
+  ASSERT_EQ(times_to_2.size(), 1u);
+  EXPECT_GE(times_to_2[0], 100.0);
+  EXPECT_LE(times_to_2[0], 101.0);
+}
+
+TEST(NetworkTest, ByzantineStraddlesPartition) {
+  NetworkConfig c;
+  c.num_nodes = 3;
+  c.gst = 100.0;
+  Rig rig(c);
+  rig.net.set_region(ValidatorIndex{0}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{1}, Region::kTwo);
+  rig.net.set_region(ValidatorIndex{2}, Region::kBoth);
+  EXPECT_TRUE(rig.net.reachable(ValidatorIndex{2}, ValidatorIndex{0}));
+  EXPECT_TRUE(rig.net.reachable(ValidatorIndex{2}, ValidatorIndex{1}));
+  EXPECT_TRUE(rig.net.reachable(ValidatorIndex{0}, ValidatorIndex{2}));
+}
+
+TEST(NetworkTest, AfterGstEverythingReachable) {
+  NetworkConfig c;
+  c.num_nodes = 2;
+  c.gst = 5.0;
+  Rig rig(c);
+  rig.net.set_region(ValidatorIndex{0}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{1}, Region::kTwo);
+  rig.queue.schedule_at(6.0, [] {});
+  rig.queue.run_all();
+  EXPECT_TRUE(rig.net.reachable(ValidatorIndex{0}, ValidatorIndex{1}));
+}
+
+TEST(NetworkTest, ReleaseAtDeliversToAudienceOnly) {
+  NetworkConfig c;
+  c.num_nodes = 4;
+  c.gst = 100.0;
+  Rig rig(c);
+  rig.net.release_at(10.0, ValidatorIndex{3},
+                     {ValidatorIndex{0}, ValidatorIndex{2}}, 55);
+  rig.queue.run_until(50.0);
+  ASSERT_EQ(rig.delivered.size(), 2u);
+  EXPECT_EQ(rig.delivered[0].first, 0u);
+  EXPECT_EQ(rig.delivered[1].first, 2u);
+}
+
+TEST(NetworkTest, UnicastRespectsPartition) {
+  NetworkConfig c;
+  c.num_nodes = 2;
+  c.gst = 50.0;
+  Rig rig(c);
+  rig.net.set_region(ValidatorIndex{0}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{1}, Region::kTwo);
+  std::vector<double> times;
+  rig.net.set_deliver([&](ValidatorIndex, const Packet&) {
+    times.push_back(rig.queue.now());
+  });
+  rig.net.unicast(ValidatorIndex{0}, ValidatorIndex{1}, 1);
+  rig.queue.run_until(100.0);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_GE(times[0], 50.0);
+}
+
+TEST(NetworkTest, MessageCountersTrack) {
+  NetworkConfig c;
+  c.num_nodes = 3;
+  Rig rig(c);
+  rig.net.broadcast(ValidatorIndex{0}, 1);
+  rig.net.unicast(ValidatorIndex{0}, ValidatorIndex{1}, 2);
+  rig.queue.run_until(10.0);
+  EXPECT_EQ(rig.net.messages_sent(), 2u);
+  EXPECT_EQ(rig.net.messages_delivered(), 4u);
+}
+
+TEST(NetworkTest, BadConfigThrows) {
+  EventQueue q;
+  NetworkConfig c;
+  c.num_nodes = 0;
+  EXPECT_THROW(Network(q, c), std::invalid_argument);
+  c.num_nodes = 1;
+  c.min_delay = 2.0;
+  c.delta = 1.0;
+  EXPECT_THROW(Network(q, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leak::net

@@ -1,0 +1,225 @@
+// Tests for the inactivity-leak engine and slashing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chain/registry.hpp"
+#include "src/penalties/inactivity.hpp"
+#include "src/penalties/slashing.hpp"
+
+namespace leak::penalties {
+namespace {
+
+using chain::ValidatorRegistry;
+
+TEST(LeakTrigger, StartsAfterFourEpochsWithoutFinality) {
+  ValidatorRegistry reg(1);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  EXPECT_FALSE(tracker.is_leaking(Epoch{4}, Epoch{0}));
+  EXPECT_TRUE(tracker.is_leaking(Epoch{5}, Epoch{0}));
+  EXPECT_FALSE(tracker.is_leaking(Epoch{10}, Epoch{6}));
+  EXPECT_THROW(static_cast<void>(tracker.is_leaking(Epoch{1}, Epoch{2})),
+               std::invalid_argument);
+}
+
+TEST(Scores, ActiveDecrementsInactiveBumps) {
+  ValidatorRegistry reg(2);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  // During a leak: active -1, inactive +4 (Eq 1).
+  reg.at(ValidatorIndex{0}).inactivity_score = 10;
+  reg.at(ValidatorIndex{1}).inactivity_score = 10;
+  tracker.process_epoch(Epoch{10}, Epoch{0}, {true, false});
+  EXPECT_EQ(reg.at(ValidatorIndex{0}).inactivity_score, 9u);
+  EXPECT_EQ(reg.at(ValidatorIndex{1}).inactivity_score, 14u);
+}
+
+TEST(Scores, FlooredAtZero) {
+  ValidatorRegistry reg(1);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  tracker.process_epoch(Epoch{10}, Epoch{0}, {true});
+  EXPECT_EQ(reg.at(ValidatorIndex{0}).inactivity_score, 0u);
+}
+
+TEST(Scores, RecoveryOutsideLeak) {
+  ValidatorRegistry reg(1);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  reg.at(ValidatorIndex{0}).inactivity_score = 20;
+  // Not leaking: inactive +4 then recovery -16 => net -12.
+  const auto rep = tracker.process_epoch(Epoch{3}, Epoch{0}, {false});
+  EXPECT_FALSE(rep.leaking);
+  EXPECT_EQ(reg.at(ValidatorIndex{0}).inactivity_score, 8u);
+  // And no penalties outside the leak.
+  EXPECT_EQ(rep.total_penalty.value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.at(ValidatorIndex{0}).balance.eth(), 32.0);
+}
+
+TEST(Penalty, MatchesEq2) {
+  ValidatorRegistry reg(1);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  reg.at(ValidatorIndex{0}).inactivity_score = 100;
+  const auto before = reg.at(ValidatorIndex{0}).balance.value();
+  tracker.process_epoch(Epoch{10}, Epoch{0}, {false});
+  const auto after = reg.at(ValidatorIndex{0}).balance.value();
+  // Eq 2: penalty = I(t-1) * s(t-1) / 2^26.
+  const auto expect = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(before) * 100) / (1ULL << 26));
+  EXPECT_EQ(before - after, expect);
+}
+
+TEST(Penalty, ActiveValidatorNeverPenalized) {
+  ValidatorRegistry reg(1);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  for (std::uint64_t t = 5; t < 500; ++t) {
+    tracker.process_epoch(Epoch{t}, Epoch{0}, {true});
+  }
+  EXPECT_DOUBLE_EQ(reg.at(ValidatorIndex{0}).balance.eth(), 32.0);
+}
+
+TEST(Penalty, InactiveStakeTracksClosedForm) {
+  // Discrete protocol arithmetic vs s0 e^{-t^2/2^25} within 0.2%.
+  ValidatorRegistry reg(1);
+  SpecConfig spec = SpecConfig::paper();
+  spec.ejection_balance = Gwei{0};  // disable ejection for this check
+  InactivityTracker tracker(reg, spec);
+  const std::uint64_t horizon = 2000;
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    tracker.process_epoch(Epoch{t}, Epoch{0}, {false});
+  }
+  const double expect =
+      32.0 * std::exp(-static_cast<double>(horizon * horizon) /
+                      std::pow(2.0, 25));
+  EXPECT_NEAR(reg.at(ValidatorIndex{0}).balance.eth() / expect, 1.0, 2e-3);
+}
+
+TEST(Penalty, EjectionAtThreshold) {
+  ValidatorRegistry reg(1);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  std::int64_t ejected_at = -1;
+  for (std::uint64_t t = 1; t <= 6000 && ejected_at < 0; ++t) {
+    const auto rep = tracker.process_epoch(Epoch{t}, Epoch{0}, {false});
+    if (!rep.ejected.empty()) ejected_at = static_cast<std::int64_t>(t);
+  }
+  // Continuous model with threshold 16.75 predicts epoch 4661.
+  ASSERT_GT(ejected_at, 0);
+  EXPECT_NEAR(static_cast<double>(ejected_at), 4661.0, 8.0);
+}
+
+TEST(Penalty, ExitedValidatorsUntouched) {
+  ValidatorRegistry reg(2);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  reg.eject(ValidatorIndex{0}, Epoch{1});
+  reg.at(ValidatorIndex{0}).inactivity_score = 50;
+  tracker.process_epoch(Epoch{10}, Epoch{0}, {false, false});
+  EXPECT_DOUBLE_EQ(reg.at(ValidatorIndex{0}).balance.eth(), 32.0);
+  EXPECT_EQ(reg.at(ValidatorIndex{0}).inactivity_score, 50u);
+}
+
+TEST(Penalty, ActivityVectorSizeChecked) {
+  ValidatorRegistry reg(2);
+  InactivityTracker tracker(reg, SpecConfig::paper());
+  EXPECT_THROW(tracker.process_epoch(Epoch{10}, Epoch{0}, {true}),
+               std::invalid_argument);
+}
+
+TEST(Penalty, SemiActiveSlowerThanInactive) {
+  ValidatorRegistry reg(2);
+  SpecConfig spec = SpecConfig::paper();
+  spec.ejection_balance = Gwei{0};
+  InactivityTracker tracker(reg, spec);
+  for (std::uint64_t t = 1; t <= 3000; ++t) {
+    tracker.process_epoch(Epoch{t}, Epoch{0}, {t % 2 == 0, false});
+  }
+  const double semi = reg.at(ValidatorIndex{0}).balance.eth();
+  const double inact = reg.at(ValidatorIndex{1}).balance.eth();
+  EXPECT_GT(semi, inact);
+  EXPECT_LT(semi, 32.0);
+  // Closed form for semi-active: 32 e^{-3 t^2 / 2^28}.
+  const double expect = 32.0 * std::exp(-3.0 * 3000.0 * 3000.0 /
+                                        std::pow(2.0, 28));
+  EXPECT_NEAR(semi / expect, 1.0, 5e-3);
+}
+
+TEST(Slashing, DetectorFindsDoubleVote) {
+  SlashingDetector det;
+  chain::Attestation a, b;
+  a.attester = b.attester = ValidatorIndex{3};
+  a.target.epoch = b.target.epoch = Epoch{7};
+  a.target.block = crypto::sha256("A");
+  b.target.block = crypto::sha256("B");
+  EXPECT_FALSE(det.observe(a).has_value());
+  const auto proof = det.observe(b);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_EQ(proof->offender(), ValidatorIndex{3});
+}
+
+TEST(Slashing, DetectorIgnoresHonestHistory) {
+  SlashingDetector det;
+  for (std::uint64_t e = 1; e <= 50; ++e) {
+    chain::Attestation a;
+    a.attester = ValidatorIndex{1};
+    a.source.epoch = Epoch{e - 1};
+    a.target.epoch = Epoch{e};
+    a.target.block = crypto::sha256("chain" + std::to_string(e));
+    EXPECT_FALSE(det.observe(a).has_value()) << e;
+  }
+  EXPECT_EQ(det.observed_count(ValidatorIndex{1}), 50u);
+}
+
+TEST(Slashing, DetectorFindsSurround) {
+  SlashingDetector det;
+  chain::Attestation inner, outer;
+  inner.attester = outer.attester = ValidatorIndex{5};
+  inner.source.epoch = Epoch{3};
+  inner.target.epoch = Epoch{4};
+  outer.source.epoch = Epoch{2};
+  outer.target.epoch = Epoch{6};
+  det.observe(inner);
+  EXPECT_TRUE(det.observe(outer).has_value());
+}
+
+TEST(Slashing, ApplyBurnsAndEjects) {
+  ValidatorRegistry reg(2);
+  const Gwei burned =
+      apply_slashing(reg, ValidatorIndex{0}, Epoch{4}, SpecConfig::paper());
+  EXPECT_DOUBLE_EQ(burned.eth(), 1.0);  // 32/32
+  EXPECT_DOUBLE_EQ(reg.at(ValidatorIndex{0}).balance.eth(), 31.0);
+  EXPECT_TRUE(reg.at(ValidatorIndex{0}).slashed);
+  EXPECT_FALSE(reg.is_active(ValidatorIndex{0}, Epoch{4}));
+}
+
+TEST(Slashing, Idempotent) {
+  ValidatorRegistry reg(1);
+  apply_slashing(reg, ValidatorIndex{0}, Epoch{4}, SpecConfig::paper());
+  const Gwei again =
+      apply_slashing(reg, ValidatorIndex{0}, Epoch{5}, SpecConfig::paper());
+  EXPECT_EQ(again.value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.at(ValidatorIndex{0}).balance.eth(), 31.0);
+}
+
+// Parameterized sweep: the discrete inactive trajectory matches the
+// closed form across quotients (ablation configs).
+class QuotientSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuotientSweep, DiscreteMatchesClosedForm) {
+  const std::uint64_t quotient = GetParam();
+  ValidatorRegistry reg(1);
+  SpecConfig spec = SpecConfig::paper();
+  spec.inactivity_penalty_quotient = quotient;
+  spec.ejection_balance = Gwei{0};
+  InactivityTracker tracker(reg, spec);
+  const std::uint64_t horizon = 800;
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    tracker.process_epoch(Epoch{t}, Epoch{0}, {false});
+  }
+  const double expect =
+      32.0 * std::exp(-2.0 * static_cast<double>(horizon * horizon) /
+                      static_cast<double>(quotient));
+  EXPECT_NEAR(reg.at(ValidatorIndex{0}).balance.eth() / expect, 1.0, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotients, QuotientSweep,
+                         ::testing::Values(1ULL << 24, 3ULL << 24,
+                                           1ULL << 26));
+
+}  // namespace
+}  // namespace leak::penalties

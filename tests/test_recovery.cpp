@@ -1,0 +1,75 @@
+// Tests for post-leak recovery: score decay tail and residual losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytic/recovery.hpp"
+#include "src/analytic/stake_model.hpp"
+
+namespace leak::analytic {
+namespace {
+
+const AnalyticConfig kPaper = AnalyticConfig::paper();
+
+TEST(Recovery, EpochsLinearInScore) {
+  EXPECT_DOUBLE_EQ(recovery_epochs(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(recovery_epochs(17.0), 1.0);
+  EXPECT_DOUBLE_EQ(recovery_epochs(1700.0), 100.0);
+  EXPECT_THROW(static_cast<void>(recovery_epochs(-1.0)),
+               std::invalid_argument);
+}
+
+TEST(Recovery, ScoreAtLeakEnd) {
+  // An always-inactive validator carries score 4t when the leak ends.
+  EXPECT_DOUBLE_EQ(score_at_leak_end(1000.0, kPaper), 4000.0);
+}
+
+TEST(Recovery, ResidualLossClosedForm) {
+  // exp form: loss = s (1 - e^{-I0^2 / (2 * 17 * q)}).
+  const double i0 = 4000.0, s = 20.0;
+  const double expect =
+      s * (1.0 - std::exp(-i0 * i0 / (2.0 * 17.0 * kPaper.quotient)));
+  EXPECT_NEAR(residual_loss(i0, s, kPaper), expect, 1e-12);
+}
+
+TEST(Recovery, DiscreteMatchesClosedForm) {
+  for (const double i0 : {500.0, 4000.0, 12000.0}) {
+    const double closed = residual_loss(i0, 24.0, kPaper);
+    const double discrete = residual_loss_discrete(i0, 24.0, kPaper);
+    // Short recovery tails (~30 epochs at score 500) carry a few
+    // percent discretization error on an absolutely tiny loss.
+    EXPECT_NEAR(discrete / closed, 1.0, 5e-2) << "score0=" << i0;
+  }
+}
+
+TEST(Recovery, LossGrowsWithScore) {
+  double prev = -1.0;
+  for (double i0 = 0.0; i0 <= 16000.0; i0 += 2000.0) {
+    const double loss = residual_loss(i0, 20.0, kPaper);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(Recovery, TailIsSmallRelativeToLeakLoss) {
+  // Scenario: branch with p0 = 0.6 recovers at ~3107 epochs; the
+  // inactive class has lost ~13 ETH during the leak, and loses only a
+  // bounded extra amount during the recovery tail.
+  const double t = 3107.0;
+  const double s_end = stake(Behavior::kInactive, t, kPaper);
+  const double leak_loss = 32.0 - s_end;
+  const double tail = residual_loss(score_at_leak_end(t, kPaper), s_end,
+                                    kPaper);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, leak_loss);
+  // The tail lasts I0/17 ~ 731 epochs.
+  EXPECT_NEAR(recovery_epochs(score_at_leak_end(t, kPaper)), 731.0, 1.0);
+}
+
+TEST(Recovery, ZeroScoreZeroLoss) {
+  EXPECT_DOUBLE_EQ(residual_loss(0.0, 32.0, kPaper), 0.0);
+  EXPECT_DOUBLE_EQ(residual_loss_discrete(0.0, 32.0, kPaper), 0.0);
+}
+
+}  // namespace
+}  // namespace leak::analytic

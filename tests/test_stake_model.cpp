@@ -1,0 +1,165 @@
+// Tests for the Section 4.3 stake trajectories: closed forms, discrete
+// recurrences, ODE agreement and ejection epochs (Figure 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytic/stake_model.hpp"
+
+namespace leak::analytic {
+namespace {
+
+const AnalyticConfig kPaper = AnalyticConfig::paper();
+
+TEST(ScoreSlope, PaperValues) {
+  EXPECT_DOUBLE_EQ(score_slope(Behavior::kActive, kPaper), 0.0);
+  EXPECT_DOUBLE_EQ(score_slope(Behavior::kSemiActive, kPaper), 1.5);
+  EXPECT_DOUBLE_EQ(score_slope(Behavior::kInactive, kPaper), 4.0);
+}
+
+TEST(Stake, ActiveIsConstant) {
+  for (double t : {0.0, 100.0, 5000.0, 10000.0}) {
+    EXPECT_DOUBLE_EQ(stake(Behavior::kActive, t, kPaper), 32.0);
+  }
+}
+
+TEST(Stake, InactiveClosedForm) {
+  // s(t) = 32 e^{-t^2/2^25} (paper Section 4.3(c)).
+  for (double t : {100.0, 1000.0, 3000.0}) {
+    const double expect = 32.0 * std::exp(-t * t / std::pow(2.0, 25));
+    EXPECT_NEAR(stake(Behavior::kInactive, t, kPaper), expect, 1e-12);
+  }
+}
+
+TEST(Stake, SemiActiveClosedForm) {
+  // s(t) = 32 e^{-3 t^2 / 2^28} (paper Section 4.3(b)).
+  for (double t : {100.0, 1000.0, 5000.0}) {
+    const double expect = 32.0 * std::exp(-3.0 * t * t / std::pow(2.0, 28));
+    EXPECT_NEAR(stake(Behavior::kSemiActive, t, kPaper), expect, 1e-12);
+  }
+}
+
+TEST(Stake, OrderingActiveSemiInactive) {
+  for (double t : {10.0, 500.0, 2500.0}) {
+    EXPECT_GT(stake(Behavior::kActive, t, kPaper),
+              stake(Behavior::kSemiActive, t, kPaper));
+    EXPECT_GT(stake(Behavior::kSemiActive, t, kPaper),
+              stake(Behavior::kInactive, t, kPaper));
+  }
+}
+
+TEST(Stake, OdeMatchesClosedForm) {
+  for (const Behavior b :
+       {Behavior::kActive, Behavior::kSemiActive, Behavior::kInactive}) {
+    for (double t : {500.0, 2000.0, 4000.0}) {
+      EXPECT_NEAR(stake_ode(b, t, kPaper) / stake(b, t, kPaper), 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(Ejection, PaperEpochs) {
+  // The paper reports 4685 (inactive) and 7652 (semi-active); the
+  // calibrated paper() config reproduces both to the epoch.
+  EXPECT_NEAR(ejection_epoch(Behavior::kInactive, kPaper), 4685.0, 1.0);
+  EXPECT_NEAR(ejection_epoch(Behavior::kSemiActive, kPaper), 7652.0, 3.0);
+  EXPECT_TRUE(std::isinf(ejection_epoch(Behavior::kActive, kPaper)));
+}
+
+TEST(Ejection, StatedThresholdEpochs) {
+  // With the literally stated 16.75 ETH threshold the closed forms give
+  // 4661 / 7611 — the calibration gap documented in DESIGN.md.
+  const AnalyticConfig stated = AnalyticConfig::stated();
+  EXPECT_NEAR(ejection_epoch(Behavior::kInactive, stated), 4660.6, 1.0);
+  EXPECT_NEAR(ejection_epoch(Behavior::kSemiActive, stated), 7610.7, 1.0);
+}
+
+TEST(Ejection, StakeWithEjectionZeroesOut) {
+  const double t_eject = ejection_epoch(Behavior::kInactive, kPaper);
+  EXPECT_GT(stake_with_ejection(Behavior::kInactive, t_eject - 1.0, kPaper),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      stake_with_ejection(Behavior::kInactive, t_eject + 1.0, kPaper), 0.0);
+}
+
+TEST(Discrete, InactiveMatchesClosedFormWithin) {
+  const auto traj = simulate_discrete(Behavior::kInactive, 4000, kPaper);
+  for (std::size_t t : {500u, 1500u, 3000u}) {
+    const double closed = stake(Behavior::kInactive, static_cast<double>(t),
+                                kPaper);
+    EXPECT_NEAR(traj.stake[t] / closed, 1.0, 2e-3) << t;
+  }
+}
+
+TEST(Discrete, SemiActiveMatchesClosedFormWithin) {
+  const auto traj = simulate_discrete(Behavior::kSemiActive, 6000, kPaper);
+  for (std::size_t t : {1000u, 3000u, 5000u}) {
+    const double closed = stake(Behavior::kSemiActive,
+                                static_cast<double>(t), kPaper);
+    EXPECT_NEAR(traj.stake[t] / closed, 1.0, 5e-3) << t;
+  }
+}
+
+TEST(Discrete, ActiveKeepsFullStake) {
+  const auto traj = simulate_discrete(Behavior::kActive, 100, kPaper);
+  EXPECT_DOUBLE_EQ(traj.stake.back(), 32.0);
+  EXPECT_EQ(traj.ejection_epoch, -1);
+}
+
+TEST(Discrete, EjectionEpochCloseToContinuous) {
+  const auto traj = simulate_discrete(Behavior::kInactive, 6000, kPaper);
+  ASSERT_GT(traj.ejection_epoch, 0);
+  EXPECT_NEAR(static_cast<double>(traj.ejection_epoch),
+              ejection_epoch(Behavior::kInactive, kPaper), 10.0);
+}
+
+TEST(Discrete, ScoreFlooredAtZero) {
+  // Alternating activity starting active: score dips to 0, never below.
+  std::vector<bool> active(100);
+  for (std::size_t t = 0; t < 100; ++t) active[t] = (t % 2 == 0);
+  const auto traj = simulate_discrete(active, kPaper);
+  for (const double s : traj.score) EXPECT_GE(s, 0.0);
+}
+
+TEST(Discrete, MonotoneNonIncreasingStake) {
+  const auto traj = simulate_discrete(Behavior::kSemiActive, 3000, kPaper);
+  for (std::size_t t = 1; t < traj.stake.size(); ++t) {
+    EXPECT_LE(traj.stake[t], traj.stake[t - 1]);
+  }
+}
+
+// Property sweep across behaviours and configs: discrete trajectory and
+// closed form must stay within 1%.
+struct SweepCase {
+  Behavior behavior;
+  AnalyticConfig cfg;
+  std::size_t horizon;
+};
+
+class StakeSweep : public ::testing::TestWithParam<int> {
+ protected:
+  static SweepCase get(int i) {
+    switch (i) {
+      case 0: return {Behavior::kInactive, AnalyticConfig::paper(), 3000};
+      case 1: return {Behavior::kSemiActive, AnalyticConfig::paper(), 5000};
+      case 2: return {Behavior::kInactive, AnalyticConfig::mainnet(), 1500};
+      case 3: return {Behavior::kSemiActive, AnalyticConfig::mainnet(), 3000};
+      case 4: return {Behavior::kInactive, AnalyticConfig::stated(), 3000};
+      default: return {Behavior::kActive, AnalyticConfig::paper(), 100};
+    }
+  }
+};
+
+TEST_P(StakeSweep, DiscreteVsClosedForm) {
+  const SweepCase c = get(GetParam());
+  AnalyticConfig cfg = c.cfg;
+  cfg.ejection_threshold = 0.0;  // compare trajectories without ejection
+  const auto traj = simulate_discrete(c.behavior, c.horizon, cfg);
+  const double closed =
+      stake(c.behavior, static_cast<double>(c.horizon), cfg);
+  EXPECT_NEAR(traj.stake[c.horizon] / closed, 1.0, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, StakeSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace leak::analytic

@@ -1,0 +1,144 @@
+// Tests for the SSZ-lite codec and chain wire encoding.
+#include <gtest/gtest.h>
+
+#include "src/chain/wire.hpp"
+#include "src/support/codec.hpp"
+
+namespace leak {
+namespace {
+
+TEST(Codec, IntegerRoundTrip) {
+  codec::Writer w;
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  codec::Reader r(w.bytes());
+  std::uint8_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+  ASSERT_TRUE(r.get_u8(a));
+  ASSERT_TRUE(r.get_u32(b));
+  ASSERT_TRUE(r.get_u64(c));
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  codec::Writer w;
+  w.put_u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Codec, TruncatedReadsFail) {
+  codec::Writer w;
+  w.put_u32(7);
+  codec::Reader r(w.bytes());
+  std::uint64_t x = 0;
+  EXPECT_FALSE(r.get_u64(x));
+}
+
+TEST(Codec, BlobRoundTrip) {
+  codec::Writer w;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  w.put_blob(payload);
+  codec::Reader r(w.bytes());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(r.get_blob(out));
+  EXPECT_EQ(out, payload);
+}
+
+TEST(Codec, BlobLengthLies) {
+  codec::Writer w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  codec::Reader r(w.bytes());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(r.get_blob(out));
+}
+
+TEST(Codec, ArrayRoundTrip) {
+  std::array<std::uint8_t, 32> in{};
+  for (std::size_t i = 0; i < 32; ++i) in[i] = static_cast<std::uint8_t>(i);
+  codec::Writer w;
+  w.put_array(in);
+  codec::Reader r(w.bytes());
+  std::array<std::uint8_t, 32> out{};
+  ASSERT_TRUE(r.get_array(out));
+  EXPECT_EQ(in, out);
+}
+
+TEST(Wire, BlockRoundTripPreservesId) {
+  const chain::Block b = chain::Block::make(
+      crypto::sha256("parent"), Slot{77}, ValidatorIndex{5},
+      crypto::sha256("body"));
+  const auto bytes = chain::encode_block(b);
+  const auto decoded = chain::decode_block(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, b.id);
+  EXPECT_EQ(decoded->parent, b.parent);
+  EXPECT_EQ(decoded->slot, b.slot);
+  EXPECT_EQ(decoded->proposer, b.proposer);
+}
+
+TEST(Wire, BlockDecodeRejectsTruncation) {
+  const chain::Block b =
+      chain::Block::make(crypto::sha256("p"), Slot{1}, ValidatorIndex{0});
+  auto bytes = chain::encode_block(b);
+  bytes.pop_back();
+  EXPECT_FALSE(chain::decode_block(bytes).has_value());
+}
+
+TEST(Wire, BlockDecodeRejectsTrailingBytes) {
+  const chain::Block b =
+      chain::Block::make(crypto::sha256("p"), Slot{1}, ValidatorIndex{0});
+  auto bytes = chain::encode_block(b);
+  bytes.push_back(0);
+  EXPECT_FALSE(chain::decode_block(bytes).has_value());
+}
+
+TEST(Wire, AttestationRoundTripPreservesSignature) {
+  crypto::KeyRegistry keys;
+  const auto pairs = keys.generate(4, 3);
+  chain::Attestation a;
+  a.attester = ValidatorIndex{2};
+  a.slot = Slot{99};
+  a.head = crypto::sha256("head");
+  a.source = chain::Checkpoint{crypto::sha256("s"), Epoch{2}};
+  a.target = chain::Checkpoint{crypto::sha256("t"), Epoch{3}};
+  a.sign(pairs[2]);
+
+  const auto bytes = chain::encode_attestation(a);
+  const auto decoded = chain::decode_attestation(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->attester, a.attester);
+  EXPECT_EQ(decoded->slot, a.slot);
+  EXPECT_EQ(decoded->source, a.source);
+  EXPECT_EQ(decoded->target, a.target);
+  // The decoded signature still verifies against the registry.
+  EXPECT_TRUE(keys.verify(decoded->signing_root(), decoded->signature));
+}
+
+TEST(Wire, TamperedAttestationFailsVerification) {
+  crypto::KeyRegistry keys;
+  const auto pairs = keys.generate(2, 3);
+  chain::Attestation a;
+  a.attester = ValidatorIndex{1};
+  a.slot = Slot{4};
+  a.sign(pairs[1]);
+  auto bytes = chain::encode_attestation(a);
+  bytes[4] ^= 0x01;  // flip a bit in the slot field
+  const auto decoded = chain::decode_attestation(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(keys.verify(decoded->signing_root(), decoded->signature));
+}
+
+TEST(Wire, AttestationDecodeRejectsGarbage) {
+  const std::vector<std::uint8_t> junk(10, 0xcc);
+  EXPECT_FALSE(chain::decode_attestation(junk).has_value());
+}
+
+}  // namespace
+}  // namespace leak
