@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Run every leak_bench binary with --benchmark_format=json and
+# aggregate the per-binary reports into one BENCH_results.json at the
+# repo root (override with -o). Future perf-focused PRs compare
+# against this file and must not regress it.
+#
+# Usage: bench/run_benchmarks.sh [-b BUILD_DIR] [-o OUTPUT_JSON]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+OUTPUT="${REPO_ROOT}/BENCH_results.json"
+
+while getopts "b:o:h" opt; do
+  case "${opt}" in
+    b) BUILD_DIR="${OPTARG}" ;;
+    o) OUTPUT="${OPTARG}" ;;
+    h)
+      echo "usage: $0 [-b BUILD_DIR] [-o OUTPUT_JSON]"
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+
+BENCH_DIR="${BUILD_DIR}/bench"
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found - build first:" >&2
+  echo "  cmake -B \"${BUILD_DIR}\" -S \"${REPO_ROOT}\" && cmake --build \"${BUILD_DIR}\" --target leak_bench -j" >&2
+  exit 1
+fi
+
+BINARIES=()
+for bin in "${BENCH_DIR}"/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] && BINARIES+=("${bin}")
+done
+if [[ ${#BINARIES[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in ${BENCH_DIR} (benchmark library missing at configure time?)" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+for bin in "${BINARIES[@]}"; do
+  name="$(basename "${bin}")"
+  echo ">> ${name}"
+  # Benchmarks print their paper-reproduction report on stdout before
+  # the timings; --benchmark_out keeps the JSON clean of that text.
+  "${bin}" --benchmark_format=json \
+           --benchmark_out="${TMP_DIR}/${name}.json" \
+           --benchmark_out_format=json > /dev/null
+done
+
+python3 - "${OUTPUT}" "${TMP_DIR}" <<'EOF'
+import json, pathlib, sys
+
+output, tmp_dir = sys.argv[1], pathlib.Path(sys.argv[2])
+merged = {"context": None, "benchmarks": []}
+for report in sorted(tmp_dir.glob("bench_*.json")):
+    data = json.loads(report.read_text())
+    if merged["context"] is None:
+        merged["context"] = data.get("context", {})
+    binary = report.stem
+    for bench in data.get("benchmarks", []):
+        bench["binary"] = binary
+        merged["benchmarks"].append(bench)
+
+pathlib.Path(output).write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {output}: {len(merged['benchmarks'])} benchmarks "
+      f"from {len(list(tmp_dir.glob('bench_*.json')))} binaries")
+EOF

@@ -22,6 +22,7 @@ GossipConfig cfg(std::uint32_t n, std::uint32_t fanout = 6) {
   GossipConfig c;
   c.num_nodes = n;
   c.fanout = fanout;
+  c.seed = 99;  // pinned: default, explicit for determinism
   return c;
 }
 

@@ -82,6 +82,7 @@ struct Rig {
 
 TEST(NetworkTest, BroadcastReachesEveryoneNoPartition) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 5;
   c.gst = 0.0;
   Rig rig(c);
@@ -93,6 +94,7 @@ TEST(NetworkTest, BroadcastReachesEveryoneNoPartition) {
 
 TEST(NetworkTest, DeliveryWithinDelta) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 3;
   c.delta = 0.8;
   Rig rig(c);
@@ -108,6 +110,7 @@ TEST(NetworkTest, DeliveryWithinDelta) {
 
 TEST(NetworkTest, PartitionBlocksCrossRegionUntilGst) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 4;
   c.gst = 100.0;
   c.delta = 1.0;
@@ -134,6 +137,7 @@ TEST(NetworkTest, PartitionBlocksCrossRegionUntilGst) {
 
 TEST(NetworkTest, ByzantineStraddlesPartition) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 3;
   c.gst = 100.0;
   Rig rig(c);
@@ -147,6 +151,7 @@ TEST(NetworkTest, ByzantineStraddlesPartition) {
 
 TEST(NetworkTest, AfterGstEverythingReachable) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 2;
   c.gst = 5.0;
   Rig rig(c);
@@ -159,6 +164,7 @@ TEST(NetworkTest, AfterGstEverythingReachable) {
 
 TEST(NetworkTest, ReleaseAtDeliversToAudienceOnly) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 4;
   c.gst = 100.0;
   Rig rig(c);
@@ -172,6 +178,7 @@ TEST(NetworkTest, ReleaseAtDeliversToAudienceOnly) {
 
 TEST(NetworkTest, UnicastRespectsPartition) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 2;
   c.gst = 50.0;
   Rig rig(c);
@@ -189,6 +196,7 @@ TEST(NetworkTest, UnicastRespectsPartition) {
 
 TEST(NetworkTest, MessageCountersTrack) {
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 3;
   Rig rig(c);
   rig.net.broadcast(ValidatorIndex{0}, 1);
@@ -201,6 +209,7 @@ TEST(NetworkTest, MessageCountersTrack) {
 TEST(NetworkTest, BadConfigThrows) {
   EventQueue q;
   NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
   c.num_nodes = 0;
   EXPECT_THROW(Network(q, c), std::invalid_argument);
   c.num_nodes = 1;
