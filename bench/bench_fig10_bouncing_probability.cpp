@@ -9,6 +9,7 @@
 #include "src/bouncing/distribution.hpp"
 #include "src/bouncing/markov.hpp"
 #include "src/bouncing/montecarlo.hpp"
+#include "src/runner/thread_pool.hpp"
 
 namespace {
 
@@ -38,6 +39,7 @@ void report() {
                                        cfg));
 
   bench::print_header("Monte Carlo cross-check (exact discrete dynamics)");
+  std::printf("(Monte Carlo on %u threads)\n", runner::resolve_threads(0));
   Table v({"beta0", "epoch", "Eq 24", "Monte Carlo"});
   for (const double b0 : {1.0 / 3.0, 0.333, 0.33}) {
     bouncing::McConfig mc;
@@ -45,6 +47,7 @@ void report() {
     mc.paths = 3000;
     mc.epochs = 6000;
     mc.seed = 7;
+    mc.threads = 0;  // LEAK_THREADS env or hardware_concurrency
     const auto r = bouncing::run_bouncing_mc(mc, {3000, 6000});
     for (std::size_t k = 0; k < r.epochs.size(); ++k) {
       v.add_row({Table::fmt(b0, 4), std::to_string(r.epochs[k]),
@@ -97,6 +100,22 @@ void BM_Fig10FullGrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fig10FullGrid)->Unit(benchmark::kMicrosecond);
+
+// Thread-scaling sweep of the Figure 10 Monte Carlo cross-check.
+void BM_Fig10MonteCarloThreads(benchmark::State& state) {
+  bouncing::McConfig mc;
+  mc.beta0 = 0.33;
+  mc.paths = 3000;
+  mc.epochs = 3000;
+  mc.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bouncing::run_bouncing_mc(mc, {3000}));
+  }
+  state.counters["threads"] =
+      static_cast<double>(runner::resolve_threads(mc.threads));
+}
+BENCHMARK(BM_Fig10MonteCarloThreads)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

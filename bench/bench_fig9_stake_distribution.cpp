@@ -9,6 +9,7 @@
 #include "src/bouncing/markov.hpp"
 #include "src/bouncing/montecarlo.hpp"
 #include "src/bouncing/walk.hpp"
+#include "src/runner/thread_pool.hpp"
 #include "src/support/stats.hpp"
 
 namespace {
@@ -36,6 +37,9 @@ void report() {
   mc.paths = 4000;
   mc.epochs = 4024;
   mc.seed = 99;
+  mc.threads = 0;  // LEAK_THREADS env or hardware_concurrency
+  std::printf("(Monte Carlo on %u threads)\n",
+              runner::resolve_threads(mc.threads));
   const auto r = bouncing::run_bouncing_mc(mc, {4024});
   p.add_row({"mass at 0 (ejected)", Table::fmt(law.mass_ejected(t), 5),
              Table::fmt(r.ejected_fraction[0], 5)});
@@ -104,6 +108,24 @@ void BM_MonteCarloPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloPaths)->Arg(500)->Arg(2000)
     ->Unit(benchmark::kMillisecond);
+
+// Thread-scaling sweep of the Figure 9 10k-path run: Arg is the
+// thread count (0 = auto), results identical across all of them.
+void BM_MonteCarloPathsThreads(benchmark::State& state) {
+  bouncing::McConfig mc;
+  mc.paths = 10000;
+  mc.epochs = 2000;
+  mc.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bouncing::run_bouncing_mc(mc, {2000}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mc.paths) * 2000);
+  state.counters["threads"] =
+      static_cast<double>(runner::resolve_threads(mc.threads));
+}
+BENCHMARK(BM_MonteCarloPathsThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 
 #include "src/analytic/tables.hpp"
 #include "src/bouncing/distribution.hpp"
+#include "src/runner/thread_pool.hpp"
 #include "src/sim/partition_sim.hpp"
 #include "src/sim/slot_sim.hpp"
 
@@ -76,6 +77,23 @@ void report() {
     v.add_row({"5.3", "P[beta>1/3] at t=4000, beta0=0.333 (Eq 24)",
                Table::fmt(p, 4)});
   }
+  {
+    // Monte Carlo robustness of 5.1: redraw the honest split iid and
+    // check conflicting finalization survives the sampling noise.
+    sim::PartitionTrialsConfig tc;
+    tc.base.n_validators = 400;
+    tc.base.strategy = sim::Strategy::kNone;
+    tc.base.max_epochs = 5000;
+    tc.trials = 32;
+    tc.threads = 0;  // LEAK_THREADS env or hardware_concurrency
+    const auto r = sim::run_partition_trials(tc);
+    v.add_row({"5.1", "conflicting finalization over 32 random splits "
+                      "(threads=" +
+                          std::to_string(runner::resolve_threads(tc.threads)) +
+                          ")",
+               Table::fmt(r.conflicting_fraction, 3) + " of trials, mean ep " +
+                   Table::fmt(r.mean_conflict_epoch, 0)});
+  }
   bench::emit(v, "table1_verification.csv");
 }
 
@@ -97,6 +115,23 @@ void BM_SlotSimEpoch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 32);
 }
 BENCHMARK(BM_SlotSimEpoch)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Thread-scaling sweep of the randomized-split partition trials.
+void BM_PartitionTrialsThreads(benchmark::State& state) {
+  sim::PartitionTrialsConfig tc;
+  tc.base.n_validators = 200;
+  tc.base.strategy = sim::Strategy::kNone;
+  tc.base.max_epochs = 2000;
+  tc.trials = 16;
+  tc.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_partition_trials(tc));
+  }
+  state.counters["threads"] =
+      static_cast<double>(runner::resolve_threads(tc.threads));
+}
+BENCHMARK(BM_PartitionTrialsThreads)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

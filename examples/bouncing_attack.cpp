@@ -5,7 +5,10 @@
 // the 1/3 threshold over time, and a Monte Carlo cross-check with the
 // exact discrete protocol dynamics.
 //
-//   ./bouncing_attack [beta0] [p0]     (defaults: 0.33, 0.5)
+//   ./bouncing_attack [beta0] [p0] [threads]   (defaults: 0.33, 0.5, auto)
+//
+// threads = 0 (the default) uses LEAK_THREADS or every hardware
+// thread; the Monte Carlo result is bit-identical for any value.
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,11 +16,14 @@
 #include "src/bouncing/distribution.hpp"
 #include "src/bouncing/markov.hpp"
 #include "src/bouncing/montecarlo.hpp"
+#include "src/runner/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace leak;
   const double beta0 = argc > 1 ? std::atof(argv[1]) : 0.33;
   const double p0 = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const unsigned threads =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
   const auto cfg = analytic::AnalyticConfig::paper();
 
   std::printf("probabilistic bouncing attack: beta0=%.4f p0=%.2f\n\n",
@@ -49,12 +55,15 @@ int main(int argc, char** argv) {
               analytic::ejection_epoch(analytic::Behavior::kSemiActive,
                                        cfg));
 
-  std::printf("\nMonte Carlo cross-check (2000 paths, exact dynamics):\n");
+  std::printf("\nMonte Carlo cross-check (2000 paths, exact dynamics, "
+              "%u threads):\n",
+              runner::resolve_threads(threads));
   bouncing::McConfig mc;
   mc.beta0 = beta0;
   mc.p0 = p0;
   mc.paths = 2000;
   mc.epochs = 6000;
+  mc.threads = threads;
   const auto r = bouncing::run_bouncing_mc(mc, {2000, 4000, 6000});
   for (std::size_t k = 0; k < r.epochs.size(); ++k) {
     std::printf("  epoch %5zu: P=%.4f (ejected %.3f, capped %.3f)\n",

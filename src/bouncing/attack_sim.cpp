@@ -5,91 +5,109 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/runner/trial_runner.hpp"
 #include "src/support/random.hpp"
 #include "src/support/stats.hpp"
 
 namespace leak::bouncing {
 
+namespace {
+
+/// Outcome of one attack lifetime, pure in (cfg, rng).
+struct RunOutcome {
+  std::uint64_t duration = 0;
+  /// Epoch when beta first exceeded 1/3; -1 when it never did.
+  std::int64_t break_epoch = -1;
+};
+
+RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
+  RunOutcome out;
+  const std::size_t n = cfg.honest_validators;
+  // Honest stake/score from branch A's viewpoint; Byzantine validators
+  // are semi-active on A (active every other epoch).
+  std::vector<double> stake(n, cfg.model.initial_stake);
+  std::vector<double> score(n, 0.0);
+  std::vector<bool> ejected(n, false);
+  double byz_stake = cfg.model.initial_stake;
+  double byz_score = 0.0;
+  bool byz_ejected = false;
+
+  for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
+    // Current stake-weighted Byzantine proportion on branch A.
+    double honest_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) honest_total += stake[i];
+    const double honest_mean = honest_total / static_cast<double>(n);
+    const double byz_mass = cfg.beta0 * byz_stake;
+    const double denom = byz_mass + (1.0 - cfg.beta0) * honest_mean;
+    const double beta = denom > 0.0 ? byz_mass / denom : 0.0;
+    if (beta > 1.0 / 3.0 && !byz_ejected && out.break_epoch < 0) {
+      out.break_epoch = static_cast<std::int64_t>(t);
+    }
+
+    // Proposer lottery: the attack needs a Byzantine proposer among
+    // the first j slots of the epoch.
+    const double lottery_beta = cfg.stake_weighted_lottery ? beta : cfg.beta0;
+    const double p_continue = 1.0 - std::pow(1.0 - lottery_beta, cfg.j);
+    if (byz_ejected || !rng.bernoulli(p_continue)) {
+      out.duration = t - 1;
+      break;
+    }
+    out.duration = t;
+
+    // One epoch of Figure 8 dynamics.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ejected[i]) continue;
+      stake[i] -= score[i] * stake[i] / cfg.model.quotient;
+      const bool active = rng.bernoulli(cfg.p0);
+      if (active) {
+        score[i] = std::max(score[i] - cfg.model.score_active_decrement, 0.0);
+      } else {
+        score[i] += cfg.model.score_bias;
+      }
+      if (stake[i] <= cfg.model.ejection_threshold) {
+        ejected[i] = true;
+        stake[i] = 0.0;
+      }
+    }
+    if (!byz_ejected) {
+      byz_stake -= byz_score * byz_stake / cfg.model.quotient;
+      if (t % 2 == 0) {
+        byz_score = std::max(byz_score - cfg.model.score_active_decrement, 0.0);
+      } else {
+        byz_score += cfg.model.score_bias;
+      }
+      if (byz_stake <= cfg.model.ejection_threshold) {
+        byz_ejected = true;
+        byz_stake = 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 AttackSimResult run_attack_sim(const AttackSimConfig& cfg) {
   if (cfg.runs == 0 || cfg.honest_validators == 0) {
     throw std::invalid_argument("run_attack_sim: empty configuration");
   }
+  // Fan the independent runs across the pool; run i always draws from
+  // the (seed, i) stream, then outcomes merge in run order.
+  const StreamSeeder seeder(cfg.seed);
+  const runner::TrialRunner pool(cfg.threads);
+  const auto outcomes = pool.run(cfg.runs, [&](std::size_t run) {
+    return simulate_attack_run(cfg, seeder.stream(run));
+  });
+
   AttackSimResult res;
   res.durations.reserve(cfg.runs);
-  Rng root(cfg.seed);
   std::size_t broken = 0;
-
-  for (std::size_t run = 0; run < cfg.runs; ++run) {
-    Rng rng = root.fork();
-    const std::size_t n = cfg.honest_validators;
-    // Honest stake/score from branch A's viewpoint; Byzantine validators
-    // are semi-active on A (active every other epoch).
-    std::vector<double> stake(n, cfg.model.initial_stake);
-    std::vector<double> score(n, 0.0);
-    std::vector<bool> ejected(n, false);
-    double byz_stake = cfg.model.initial_stake;
-    double byz_score = 0.0;
-    bool byz_ejected = false;
-    bool threshold_broken = false;
-    std::uint64_t duration = 0;
-
-    for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
-      // Current stake-weighted Byzantine proportion on branch A.
-      double honest_total = 0.0;
-      for (std::size_t i = 0; i < n; ++i) honest_total += stake[i];
-      const double honest_mean = honest_total / static_cast<double>(n);
-      const double byz_mass = cfg.beta0 * byz_stake;
-      const double denom = byz_mass + (1.0 - cfg.beta0) * honest_mean;
-      const double beta = denom > 0.0 ? byz_mass / denom : 0.0;
-      if (beta > 1.0 / 3.0 && !byz_ejected && !threshold_broken) {
-        threshold_broken = true;
-        res.break_epochs.push_back(t);
-      }
-
-      // Proposer lottery: the attack needs a Byzantine proposer among
-      // the first j slots of the epoch.
-      const double lottery_beta =
-          cfg.stake_weighted_lottery ? beta : cfg.beta0;
-      const double p_continue =
-          1.0 - std::pow(1.0 - lottery_beta, cfg.j);
-      if (byz_ejected || !rng.bernoulli(p_continue)) {
-        duration = t - 1;
-        break;
-      }
-      duration = t;
-
-      // One epoch of Figure 8 dynamics.
-      for (std::size_t i = 0; i < n; ++i) {
-        if (ejected[i]) continue;
-        stake[i] -= score[i] * stake[i] / cfg.model.quotient;
-        const bool active = rng.bernoulli(cfg.p0);
-        if (active) {
-          score[i] =
-              std::max(score[i] - cfg.model.score_active_decrement, 0.0);
-        } else {
-          score[i] += cfg.model.score_bias;
-        }
-        if (stake[i] <= cfg.model.ejection_threshold) {
-          ejected[i] = true;
-          stake[i] = 0.0;
-        }
-      }
-      if (!byz_ejected) {
-        byz_stake -= byz_score * byz_stake / cfg.model.quotient;
-        if (t % 2 == 0) {
-          byz_score =
-              std::max(byz_score - cfg.model.score_active_decrement, 0.0);
-        } else {
-          byz_score += cfg.model.score_bias;
-        }
-        if (byz_stake <= cfg.model.ejection_threshold) {
-          byz_ejected = true;
-          byz_stake = 0.0;
-        }
-      }
+  for (const auto& out : outcomes) {
+    res.durations.push_back(out.duration);
+    if (out.break_epoch >= 0) {
+      res.break_epochs.push_back(static_cast<std::uint64_t>(out.break_epoch));
+      ++broken;
     }
-    res.durations.push_back(duration);
-    if (threshold_broken) ++broken;
   }
 
   res.prob_threshold_broken =

@@ -25,6 +25,9 @@ struct AttackSimConfig {
   std::size_t max_epochs = 8000;
   std::size_t runs = 1000;
   std::uint64_t seed = 2024;
+  /// Worker threads for the run fan-out; 0 = LEAK_THREADS env or
+  /// hardware_concurrency.  Bit-identical results for any value.
+  unsigned threads = 0;
   analytic::AnalyticConfig model = analytic::AnalyticConfig::paper();
   /// When true the per-epoch continuation probability uses the current
   /// stake-weighted beta; when false the constant beta0 (paper bound).

@@ -5,13 +5,58 @@
 #include <stdexcept>
 
 #include "src/analytic/stake_model.hpp"
+#include "src/runner/trial_runner.hpp"
 
 namespace leak::bouncing {
 
+namespace {
+
+/// One path of the Figure 8 dynamics as a pure function of its RNG
+/// stream: returns the path's stake at each snapshot epoch (0 once
+/// ejected).  All derived statistics are computed at merge time, so a
+/// path depends only on (cfg, snapshot grid, rng).
+std::vector<double> simulate_path(const McConfig& cfg,
+                                  const std::vector<std::size_t>& snaps,
+                                  Rng rng) {
+  std::vector<double> at_snap;
+  at_snap.reserve(snaps.size());
+  double stake = cfg.model.initial_stake;
+  double score = 0.0;
+  bool ejected = false;
+  std::size_t next_snap = 0;
+  for (std::size_t t = 1; t <= cfg.epochs && next_snap < snaps.size(); ++t) {
+    if (!ejected) {
+      // Eq 2 penalty with previous score, then Eq 1 update (floored).
+      stake -= score * stake / cfg.model.quotient;
+      const bool active = rng.bernoulli(cfg.p0);
+      if (active) {
+        score = std::max(score - cfg.model.score_active_decrement, 0.0);
+      } else {
+        score += cfg.model.score_bias;
+      }
+      if (stake <= cfg.model.ejection_threshold) {
+        ejected = true;
+        stake = 0.0;
+      }
+    }
+    if (t == snaps[next_snap]) {
+      at_snap.push_back(stake);
+      ++next_snap;
+    }
+  }
+  return at_snap;
+}
+
+}  // namespace
+
 McResult run_bouncing_mc(const McConfig& cfg,
                          const std::vector<std::size_t>& snapshot_epochs) {
+  // The grid must be strictly increasing: a path records one value per
+  // matched epoch, so duplicates would leave the merge reading past it.
   if (snapshot_epochs.empty() ||
       !std::is_sorted(snapshot_epochs.begin(), snapshot_epochs.end()) ||
+      std::adjacent_find(snapshot_epochs.begin(), snapshot_epochs.end()) !=
+          snapshot_epochs.end() ||
       snapshot_epochs.back() > cfg.epochs) {
     throw std::invalid_argument("run_bouncing_mc: bad snapshot grid");
   }
@@ -32,40 +77,24 @@ McResult run_bouncing_mc(const McConfig& cfg,
   }
   const double factor = 2.0 * cfg.beta0 / (1.0 - cfg.beta0);
 
-  Rng root(cfg.seed);
-  for (std::size_t path = 0; path < cfg.paths; ++path) {
-    Rng rng = root.fork();
-    double stake = cfg.model.initial_stake;
-    double score = 0.0;
-    bool ejected = false;
-    std::size_t next_snap = 0;
-    for (std::size_t t = 1; t <= cfg.epochs && next_snap < snapshot_epochs.size();
-         ++t) {
-      if (!ejected) {
-        // Eq 2 penalty with previous score, then Eq 1 update (floored).
-        stake -= score * stake / cfg.model.quotient;
-        const bool active = rng.bernoulli(cfg.p0);
-        if (active) {
-          score = std::max(score - cfg.model.score_active_decrement, 0.0);
-        } else {
-          score += cfg.model.score_bias;
-        }
-        if (stake <= cfg.model.ejection_threshold) {
-          ejected = true;
-          stake = 0.0;
-        }
-      }
-      if (t == snapshot_epochs[next_snap]) {
-        res.stakes[next_snap].push_back(stake);
-        if (ejected) res.ejected_fraction[next_snap] += 1.0;
-        if (stake >= cfg.model.initial_stake) {
-          res.capped_fraction[next_snap] += 1.0;
-        }
-        if (stake < factor * sb[next_snap]) {
-          res.prob_beta_exceeds[next_snap] += 1.0;
-        }
-        ++next_snap;
-      }
+  // Fan the paths across the pool; each draws from its own counter
+  // stream, so the result is independent of the thread count.
+  const StreamSeeder seeder(cfg.seed);
+  const runner::TrialRunner pool(cfg.threads);
+  const auto per_path =
+      pool.run(cfg.paths, [&](std::size_t path) {
+        return simulate_path(cfg, snapshot_epochs, seeder.stream(path));
+      });
+
+  // Merge in path order (ejection <=> stake flushed to exactly 0:
+  // live stake always stays above the ejection threshold).
+  for (const auto& at_snap : per_path) {
+    for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
+      const double stake = at_snap[k];
+      res.stakes[k].push_back(stake);
+      if (stake == 0.0) res.ejected_fraction[k] += 1.0;
+      if (stake >= cfg.model.initial_stake) res.capped_fraction[k] += 1.0;
+      if (stake < factor * sb[k]) res.prob_beta_exceeds[k] += 1.0;
     }
   }
   const double n = static_cast<double>(cfg.paths);
@@ -133,6 +162,34 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
       res.first_exceed_epoch = static_cast<std::int64_t>(t);
     }
   }
+  return res;
+}
+
+PopulationEnsembleResult run_population_ensemble(
+    const PopulationEnsembleConfig& cfg) {
+  if (cfg.paths == 0) {
+    throw std::invalid_argument("run_population_ensemble: no paths");
+  }
+  const StreamSeeder seeder(cfg.base.seed);
+  const runner::TrialRunner pool(cfg.threads);
+  const auto runs = pool.run(cfg.paths, [&](std::size_t path) {
+    PopulationRunConfig per_path = cfg.base;
+    per_path.seed = seeder.seed_for(path);
+    return run_population_bouncing(per_path);
+  });
+
+  PopulationEnsembleResult res;
+  res.first_exceed_epochs.reserve(cfg.paths);
+  std::size_t exceeded = 0;
+  double beta_sum = 0.0;
+  for (const auto& r : runs) {
+    res.first_exceed_epochs.push_back(r.first_exceed_epoch);
+    if (r.first_exceed_epoch >= 0) ++exceeded;
+    if (!r.beta_trajectory.empty()) beta_sum += r.beta_trajectory.back();
+  }
+  res.exceed_fraction =
+      static_cast<double>(exceeded) / static_cast<double>(cfg.paths);
+  res.mean_final_beta = beta_sum / static_cast<double>(cfg.paths);
   return res;
 }
 

@@ -19,6 +19,11 @@ struct McConfig {
   std::size_t paths = 10000;
   std::size_t epochs = 8000;
   std::uint64_t seed = 7;
+  /// Worker threads for the path fan-out; 0 = LEAK_THREADS env or
+  /// hardware_concurrency.  Results are bit-identical for any value:
+  /// path i always draws from the (seed, i) stream and paths merge in
+  /// index order.
+  unsigned threads = 0;
   analytic::AnalyticConfig model = analytic::AnalyticConfig::paper();
 };
 
@@ -63,5 +68,26 @@ struct PopulationRunResult {
 };
 
 PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg);
+
+/// Ensemble of independent finite-population runs ("population
+/// paths"): path i re-runs run_population_bouncing with the seed of
+/// stream (cfg.base.seed, i), fanned across the trial runner.
+struct PopulationEnsembleConfig {
+  PopulationRunConfig base;   ///< base.seed is the ensemble master seed
+  std::size_t paths = 100;
+  unsigned threads = 0;       ///< 0 = LEAK_THREADS / hardware_concurrency
+};
+
+struct PopulationEnsembleResult {
+  /// Per path: epoch when beta first exceeded 1/3 on branch A; -1 never.
+  std::vector<std::int64_t> first_exceed_epochs;
+  /// Fraction of paths whose beta ever exceeded 1/3.
+  double exceed_fraction = 0.0;
+  /// Mean of the final sampled beta across paths.
+  double mean_final_beta = 0.0;
+};
+
+PopulationEnsembleResult run_population_ensemble(
+    const PopulationEnsembleConfig& cfg);
 
 }  // namespace leak::bouncing

@@ -1,0 +1,73 @@
+#include "src/runner/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "src/support/env.hpp"
+
+namespace leak::runner {
+
+unsigned resolve_threads(unsigned requested) {
+  // 1024 bounds damage from e.g. a negative CLI thread arg cast to a
+  // huge unsigned; any sane request is far below it.
+  constexpr unsigned kMaxThreads = 1024;
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  const std::uint64_t from_env = env::u64_or("LEAK_THREADS", 0);
+  if (from_env > 0) {
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(from_env, kMaxThreads));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  all_idle_.wait(lk, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_ready_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // woken by the destructor
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      --unfinished_;
+      if (unfinished_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace leak::runner

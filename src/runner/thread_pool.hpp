@@ -1,0 +1,57 @@
+// Fixed-size worker pool used by the trial runner.  Deliberately
+// work-stealing-free: tasks are pulled from one mutex-guarded queue,
+// which is ample for the coarse chunked tasks the simulators submit
+// (each task is thousands of epochs of protocol dynamics) and keeps
+// the scheduling trivially easy to reason about.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leak::runner {
+
+/// Resolve a `threads` knob to a worker count: an explicit positive
+/// request wins; 0 means the LEAK_THREADS environment variable when
+/// set, otherwise std::thread::hardware_concurrency (at least 1).
+[[nodiscard]] unsigned resolve_threads(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawns resolve_threads(threads) workers.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a task.  Tasks must not throw: callers that can fail wrap
+  /// their body and capture the exception (see TrialRunner).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::size_t unfinished_ = 0;  ///< queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace leak::runner

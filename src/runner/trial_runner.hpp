@@ -1,0 +1,100 @@
+// Deterministic fan-out of N independent Monte Carlo trials across a
+// chunked thread pool.
+//
+// Contract: the trial function must be pure given its trial index —
+// all randomness comes from a per-trial RNG stream derived from
+// (master_seed, trial_index) (see leak::StreamSeeder), and trials
+// never touch shared mutable state.  Results are collected into a
+// vector indexed by trial, so any merge the caller performs in trial
+// order is bit-identical regardless of thread count (including
+// threads == 1).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "src/runner/thread_pool.hpp"
+
+namespace leak::runner {
+
+class TrialRunner {
+ public:
+  /// threads == 0 resolves via LEAK_THREADS / hardware_concurrency.
+  explicit TrialRunner(unsigned threads = 0)
+      : threads_(resolve_threads(threads)) {}
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run fn(i) for i in [0, n_trials); return the results in trial
+  /// order.  If any trial throws, the exception with the lowest trial
+  /// index among those observed is rethrown after the pool drains (no
+  /// deadlock, no detached work left behind).
+  template <typename Fn>
+  [[nodiscard]] auto run(std::size_t n_trials, Fn&& fn) const {
+    using Result = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    static_assert(std::is_default_constructible_v<Result>,
+                  "trial results are collected into a pre-sized vector");
+    static_assert(!std::is_same_v<Result, bool>,
+                  "bool trials would race on std::vector<bool>'s packed "
+                  "words; return std::uint8_t instead");
+    std::vector<Result> results(n_trials);
+    if (n_trials == 0) return results;
+
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, n_trials));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n_trials; ++i) results[i] = fn(i);
+      return results;
+    }
+
+    // Chunked dynamic scheduling: workers claim fixed-size index
+    // ranges from a shared cursor.  Chunks amortise the atomic per
+    // claim while staying small enough to balance uneven trials.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, n_trials / (static_cast<std::size_t>(workers) * 8));
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    std::size_t first_error_trial = std::numeric_limits<std::size_t>::max();
+
+    ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.submit([&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t begin =
+              cursor.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= n_trials) return;
+          const std::size_t end = std::min(begin + chunk, n_trials);
+          for (std::size_t i = begin; i < end; ++i) {
+            try {
+              results[i] = fn(i);
+            } catch (...) {
+              std::scoped_lock lk(err_mu);
+              if (i < first_error_trial) {
+                first_error_trial = i;
+                first_error = std::current_exception();
+              }
+              failed.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace leak::runner

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runner/trial_runner.hpp"
+#include "src/support/random.hpp"
+
 namespace leak::sim {
 
 namespace {
@@ -13,21 +16,33 @@ bool byzantine_counts_active(Strategy s) {
   return s == Strategy::kSlashable || s == Strategy::kSemiActiveFinalize;
 }
 
-}  // namespace
-
-PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
+void validate(const PartitionSimConfig& cfg) {
   if (cfg.n_validators == 0) {
     throw std::invalid_argument("run_partition_sim: no validators");
   }
   if (cfg.beta0 < 0.0 || cfg.beta0 >= 1.0 || cfg.p0 < 0.0 || cfg.p0 > 1.0) {
     throw std::invalid_argument("run_partition_sim: bad proportions");
   }
+}
+
+/// Byzantine validator count implied by the configured proportion.
+std::uint32_t byzantine_count(const PartitionSimConfig& cfg) {
+  return static_cast<std::uint32_t>(
+      std::llround(cfg.beta0 * static_cast<double>(cfg.n_validators)));
+}
+
+/// Core scenario run over an explicit per-honest-validator branch
+/// assignment (honest indices [0, n_honest); branch_of_honest[i] is 0
+/// or 1).  Byzantine validators occupy indices [n_honest, n).
+PartitionSimResult run_partition_core(
+    const PartitionSimConfig& cfg, std::uint32_t n_byz,
+    const std::vector<std::uint8_t>& branch_of_honest) {
   const auto n = cfg.n_validators;
-  const auto n_byz = static_cast<std::uint32_t>(
-      std::llround(cfg.beta0 * static_cast<double>(n)));
   const auto n_honest = n - n_byz;
-  const auto n_h1 = static_cast<std::uint32_t>(
-      std::llround(cfg.p0 * static_cast<double>(n_honest)));
+  std::uint32_t n_h1 = 0;
+  for (const std::uint8_t b : branch_of_honest) {
+    if (b == 0) ++n_h1;
+  }
 
   PartitionSimResult res;
   res.n_byzantine = n_byz;
@@ -43,7 +58,7 @@ PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
 
   const auto is_byz = [&](std::uint32_t i) { return i >= n_honest; };
   const auto honest_branch = [&](std::uint32_t i) -> int {
-    return i < n_h1 ? 0 : 1;
+    return branch_of_honest[i];
   };
 
   std::array<bool, 2> leak_over = {false, false};
@@ -151,6 +166,65 @@ PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
   }
   res.beta_exceeded_third_both = res.branch[0].beta_peak > 1.0 / 3.0 &&
                                  res.branch[1].beta_peak > 1.0 / 3.0;
+  return res;
+}
+
+}  // namespace
+
+PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
+  validate(cfg);
+  const auto n_byz = byzantine_count(cfg);
+  const auto n_honest = cfg.n_validators - n_byz;
+  const auto n_h1 = static_cast<std::uint32_t>(
+      std::llround(cfg.p0 * static_cast<double>(n_honest)));
+  std::vector<std::uint8_t> branch_of_honest(n_honest, 1);
+  for (std::uint32_t i = 0; i < n_h1; ++i) branch_of_honest[i] = 0;
+  return run_partition_core(cfg, n_byz, branch_of_honest);
+}
+
+PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
+  validate(cfg.base);
+  if (cfg.trials == 0) {
+    throw std::invalid_argument("run_partition_trials: no trials");
+  }
+  const auto n_byz = byzantine_count(cfg.base);
+  const auto n_honest = cfg.base.n_validators - n_byz;
+
+  const StreamSeeder seeder(cfg.seed);
+  const runner::TrialRunner pool(cfg.threads);
+  const auto outcomes = pool.run(cfg.trials, [&](std::size_t trial) {
+    Rng rng = seeder.stream(trial);
+    std::vector<std::uint8_t> branch_of_honest(n_honest);
+    for (std::uint32_t i = 0; i < n_honest; ++i) {
+      branch_of_honest[i] = rng.bernoulli(cfg.base.p0) ? 0 : 1;
+    }
+    return run_partition_core(cfg.base, n_byz, branch_of_honest);
+  });
+
+  PartitionTrialsResult res;
+  res.trials = cfg.trials;
+  res.conflict_epochs.reserve(cfg.trials);
+  res.beta_peaks.reserve(cfg.trials);
+  std::size_t conflicting = 0;
+  std::size_t exceeded = 0;
+  double conflict_epoch_sum = 0.0;
+  for (const auto& r : outcomes) {
+    res.conflict_epochs.push_back(r.conflicting_finalization_epoch);
+    res.beta_peaks.push_back(
+        std::max(r.branch[0].beta_peak, r.branch[1].beta_peak));
+    if (r.conflicting_finalization_epoch >= 0) {
+      ++conflicting;
+      conflict_epoch_sum +=
+          static_cast<double>(r.conflicting_finalization_epoch);
+    }
+    if (r.beta_exceeded_third_both) ++exceeded;
+  }
+  const double n = static_cast<double>(cfg.trials);
+  res.conflicting_fraction = static_cast<double>(conflicting) / n;
+  res.beta_exceeded_fraction = static_cast<double>(exceeded) / n;
+  res.mean_conflict_epoch =
+      conflicting > 0 ? conflict_epoch_sum / static_cast<double>(conflicting)
+                      : 0.0;
   return res;
 }
 

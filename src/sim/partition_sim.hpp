@@ -76,4 +76,34 @@ struct PartitionSimResult {
 /// homogeneous, so counts are rounded from the proportions).
 PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg);
 
+/// Monte Carlo over the partition scenario: each trial redraws the
+/// honest branch assignment iid (each honest validator lands on
+/// branch 1 with probability p0) instead of using the rounded
+/// deterministic split, measuring how sensitive the Section 5
+/// outcomes are to the realised split.  Trial i always draws from the
+/// (seed, i) stream and trials merge in index order, so the result is
+/// bit-identical for any thread count.
+struct PartitionTrialsConfig {
+  PartitionSimConfig base;
+  std::size_t trials = 64;
+  std::uint64_t seed = 2024;
+  unsigned threads = 0;  ///< 0 = LEAK_THREADS / hardware_concurrency
+};
+
+struct PartitionTrialsResult {
+  std::size_t trials = 0;
+  /// Per trial: epoch of conflicting finalization (-1 when never).
+  std::vector<std::int64_t> conflict_epochs;
+  /// Per trial: max Byzantine-proportion peak across the two branches.
+  std::vector<double> beta_peaks;
+  /// Fraction of trials reaching conflicting finalization.
+  double conflicting_fraction = 0.0;
+  /// Fraction of trials with beta > 1/3 on both branches.
+  double beta_exceeded_fraction = 0.0;
+  /// Mean conflict epoch over the trials that reached one (0 if none).
+  double mean_conflict_epoch = 0.0;
+};
+
+PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg);
+
 }  // namespace leak::sim

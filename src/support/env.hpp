@@ -1,0 +1,53 @@
+// Environment-variable knobs shared by the simulators, the test
+// suites, and the bench binaries.  Every knob is read-on-demand (no
+// cached globals) so a test can set/unset variables between cases.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+namespace leak::env {
+
+/// Integer knob; empty, unparsable, or negative values fall back
+/// (strtoull would otherwise silently wrap "-1" to 2^64 - 1).
+inline std::uint64_t u64_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const char* p = raw;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Floating-point knob; empty or unparsable values fall back.
+inline double double_or(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+/// LEAK_TEST_PATH_SCALE: multiplier the slow Monte Carlo test suites
+/// apply to their path/run counts so the CI Debug and sanitizer lanes
+/// stay inside their wall-clock budget (clamped to [0.01, 1]).  Tests
+/// whose statistical tolerances require the full sample size skip
+/// themselves when the scale is below 1.
+inline double test_path_scale() {
+  return std::clamp(double_or("LEAK_TEST_PATH_SCALE", 1.0), 0.01, 1.0);
+}
+
+/// `base` Monte Carlo paths/runs scaled by test_path_scale(), never 0.
+inline std::size_t scaled_count(std::size_t base) {
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(base) * test_path_scale());
+  return std::max<std::size_t>(scaled, 1);
+}
+
+}  // namespace leak::env

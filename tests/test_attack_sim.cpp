@@ -7,6 +7,7 @@
 
 #include "src/bouncing/attack_sim.hpp"
 #include "src/bouncing/markov.hpp"
+#include "src/support/env.hpp"
 
 namespace leak::bouncing {
 namespace {
@@ -14,7 +15,7 @@ namespace {
 AttackSimConfig small(double beta0, bool stake_weighted = false) {
   AttackSimConfig cfg;
   cfg.beta0 = beta0;
-  cfg.runs = 400;
+  cfg.runs = leak::env::scaled_count(400);
   cfg.honest_validators = 60;
   cfg.max_epochs = 8000;
   cfg.seed = 77;
@@ -33,6 +34,9 @@ TEST(ExpectedDuration, GeometricClosedForm) {
 }
 
 TEST(AttackSim, DurationMatchesGeometricForConstantLottery) {
+  if (env::test_path_scale() < 1.0) {
+    GTEST_SKIP() << "25% tolerance on the mean needs the full 400 runs";
+  }
   const auto cfg = small(1.0 / 3.0, /*stake_weighted=*/false);
   const auto r = run_attack_sim(cfg);
   const double expect = expected_duration_constant_beta(cfg.beta0, cfg.j);
@@ -69,7 +73,7 @@ TEST(AttackSim, BetaExactlyThirdBreaksQuicklySometimes) {
   // fluctuations cross it within the attack's lifetime occasionally.
   auto cfg = small(1.0 / 3.0);
   cfg.honest_validators = 20;  // small population -> fluctuations
-  cfg.runs = 600;
+  cfg.runs = env::scaled_count(600);
   const auto r = run_attack_sim(cfg);
   EXPECT_GT(r.prob_threshold_broken, 0.05);
 }
@@ -89,8 +93,9 @@ TEST(AttackSim, Deterministic) {
 }
 
 TEST(AttackSim, StatisticsConsistent) {
-  const auto r = run_attack_sim(small(0.3));
-  EXPECT_EQ(r.durations.size(), 400u);
+  const auto cfg = small(0.3);
+  const auto r = run_attack_sim(cfg);
+  EXPECT_EQ(r.durations.size(), cfg.runs);
   EXPECT_LE(r.median_duration, r.p99_duration);
   EXPECT_GE(r.mean_duration, 0.0);
   EXPECT_EQ(r.break_epochs.size() <= r.durations.size(), true);

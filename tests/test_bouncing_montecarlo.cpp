@@ -9,6 +9,7 @@
 
 #include "src/bouncing/distribution.hpp"
 #include "src/bouncing/montecarlo.hpp"
+#include "src/support/env.hpp"
 #include "src/support/stats.hpp"
 
 namespace leak::bouncing {
@@ -26,12 +27,13 @@ TEST(BouncingMc, GridValidation) {
   McConfig cfg = small_config();
   EXPECT_THROW(run_bouncing_mc(cfg, {}), std::invalid_argument);
   EXPECT_THROW(run_bouncing_mc(cfg, {100, 50}), std::invalid_argument);
+  EXPECT_THROW(run_bouncing_mc(cfg, {100, 100}), std::invalid_argument);
   EXPECT_THROW(run_bouncing_mc(cfg, {90000}), std::invalid_argument);
 }
 
 TEST(BouncingMc, DeterministicForSeed) {
   McConfig cfg = small_config();
-  cfg.paths = 200;
+  cfg.paths = env::scaled_count(200);
   cfg.epochs = 500;
   const auto a = run_bouncing_mc(cfg, {100, 500});
   const auto b = run_bouncing_mc(cfg, {100, 500});
@@ -40,7 +42,7 @@ TEST(BouncingMc, DeterministicForSeed) {
 
 TEST(BouncingMc, StakesWithinProtocolBounds) {
   McConfig cfg = small_config();
-  cfg.paths = 500;
+  cfg.paths = env::scaled_count(500);
   cfg.epochs = 4000;
   const auto r = run_bouncing_mc(cfg, {1000, 4000});
   for (const auto& snap : r.stakes) {
@@ -57,7 +59,7 @@ TEST(BouncingMc, StakesWithinProtocolBounds) {
 
 TEST(BouncingMc, EjectedFractionMonotone) {
   McConfig cfg = small_config();
-  cfg.paths = 1000;
+  cfg.paths = env::scaled_count(1000);
   const auto r = run_bouncing_mc(cfg, {2000, 5000, 7000, 7800});
   for (std::size_t k = 1; k < r.ejected_fraction.size(); ++k) {
     EXPECT_GE(r.ejected_fraction[k], r.ejected_fraction[k - 1]);
@@ -67,6 +69,9 @@ TEST(BouncingMc, EjectedFractionMonotone) {
 TEST(BouncingMc, MedianTracksSemiActiveDecay) {
   // The empirical median of surviving stakes at t = 4000 matches the
   // law's median (= the semi-active trajectory) within 1%.
+  if (env::test_path_scale() < 1.0) {
+    GTEST_SKIP() << "1% median tolerance needs the full 3000-path sample";
+  }
   McConfig cfg = small_config();
   cfg.paths = 3000;
   cfg.epochs = 4000;
@@ -86,7 +91,7 @@ TEST(BouncingMc, EjectionWaveNearMedianCrossing) {
   // When the median trajectory reaches the ejection threshold
   // (epoch ~7650 in the paper config) roughly half the paths are gone.
   McConfig cfg = small_config();
-  cfg.paths = 2000;
+  cfg.paths = env::scaled_count(2000);
   const auto r = run_bouncing_mc(cfg, {6000, 7650});
   EXPECT_LT(r.ejected_fraction[0], 0.25);
   EXPECT_GT(r.ejected_fraction[1], 0.25);
@@ -95,7 +100,7 @@ TEST(BouncingMc, EjectionWaveNearMedianCrossing) {
 
 TEST(BouncingMc, CappedFractionVanishesLate) {
   McConfig cfg = small_config();
-  cfg.paths = 1000;
+  cfg.paths = env::scaled_count(1000);
   cfg.epochs = 2000;
   const auto r = run_bouncing_mc(cfg, {50, 2000});
   EXPECT_GE(r.capped_fraction[0], 0.0);
@@ -107,7 +112,7 @@ TEST(BouncingMc, ProbBetaNearHalfAtOneThird) {
   // sits near one half (the floored score walk shifts it slightly up).
   McConfig cfg = small_config();
   cfg.beta0 = 1.0 / 3.0;
-  cfg.paths = 3000;
+  cfg.paths = env::scaled_count(3000);
   cfg.epochs = 3000;
   const auto r = run_bouncing_mc(cfg, {3000});
   EXPECT_NEAR(r.prob_beta_exceeds[0], 0.5, 0.12);
@@ -116,7 +121,7 @@ TEST(BouncingMc, ProbBetaNearHalfAtOneThird) {
 TEST(BouncingMc, ProbBetaNegligibleFarFromThird) {
   McConfig cfg = small_config();
   cfg.beta0 = 0.25;
-  cfg.paths = 1000;
+  cfg.paths = env::scaled_count(1000);
   cfg.epochs = 3000;
   const auto r = run_bouncing_mc(cfg, {3000});
   EXPECT_LT(r.prob_beta_exceeds[0], 0.01);
@@ -124,7 +129,7 @@ TEST(BouncingMc, ProbBetaNegligibleFarFromThird) {
 
 TEST(BouncingMc, ProbBetaOrderedInBeta0) {
   McConfig cfg = small_config();
-  cfg.paths = 1500;
+  cfg.paths = env::scaled_count(1500);
   cfg.epochs = 5000;
   double prev = 1.0;
   for (double b0 : {1.0 / 3.0, 0.33, 0.3}) {
@@ -142,7 +147,7 @@ TEST(BouncingMc, KsDistanceToCensoredLawBounded) {
   // not statistical-noise small — but it stays well bounded, and this
   // test quantifies the documented deviation.
   McConfig cfg = small_config();
-  cfg.paths = 3000;
+  cfg.paths = env::scaled_count(3000);
   cfg.epochs = 6000;
   const auto r = run_bouncing_mc(cfg, {6000});
   const StakeLaw law(cfg.p0, cfg.model);

@@ -7,6 +7,7 @@
 
 #include "src/analytic/solvers.hpp"
 #include "src/sim/partition_sim.hpp"
+#include "src/support/env.hpp"
 
 namespace leak::sim {
 namespace {
@@ -178,6 +179,32 @@ TEST(Mechanics, BetaTrajectoryPeaksThenRecorded) {
   for (double b : r.branch[0].beta_trajectory) max_seen = std::max(max_seen, b);
   EXPECT_NEAR(r.branch[0].beta_peak, max_seen, 0.02);
   EXPECT_GE(r.branch[0].beta_peak + 1e-12, max_seen);
+}
+
+TEST(PartitionTrials, RandomSplitsReachScenario51Outcome) {
+  // With no Byzantine stake and p0 = 0.5, every realised honest split
+  // still leaks to conflicting finalization; the epoch varies with the
+  // split's imbalance but stays within the horizon.
+  PartitionTrialsConfig cfg;
+  cfg.base = base(Strategy::kNone, 0.0);
+  cfg.base.n_validators = 200;
+  cfg.base.trajectory_stride = cfg.base.max_epochs;
+  cfg.trials = env::scaled_count(16);
+  const auto r = run_partition_trials(cfg);
+  EXPECT_EQ(r.trials, cfg.trials);
+  EXPECT_EQ(r.conflict_epochs.size(), cfg.trials);
+  EXPECT_DOUBLE_EQ(r.conflicting_fraction, 1.0);
+  EXPECT_GT(r.mean_conflict_epoch, 0.0);
+  EXPECT_LE(r.mean_conflict_epoch, 6000.0);
+}
+
+TEST(PartitionTrials, InvalidConfigThrows) {
+  PartitionTrialsConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(run_partition_trials(cfg), std::invalid_argument);
+  cfg.trials = 4;
+  cfg.base.n_validators = 0;
+  EXPECT_THROW(run_partition_trials(cfg), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// Contract of the parallel experiment runner: merged results are
+// bit-identical for any thread count (the conf_dsn_PavloffAP24
+// reproducibility requirement — one seed, one result), per-trial RNG
+// streams are decorrelated, and a throwing trial propagates cleanly
+// out of the pool instead of deadlocking it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/bouncing/attack_sim.hpp"
+#include "src/bouncing/montecarlo.hpp"
+#include "src/runner/thread_pool.hpp"
+#include "src/runner/trial_runner.hpp"
+#include "src/sim/partition_sim.hpp"
+#include "src/support/random.hpp"
+
+namespace leak {
+namespace {
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(runner::resolve_threads(3), 3u);
+  EXPECT_GE(runner::resolve_threads(0), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  runner::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleWithoutTasksReturnsImmediately) {
+  runner::ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+std::vector<std::uint64_t> runner_draws(unsigned threads, std::size_t n) {
+  const runner::TrialRunner pool(threads);
+  const StreamSeeder seeder(42);
+  return pool.run(n, [&seeder](std::size_t i) {
+    Rng rng = seeder.stream(i);
+    std::uint64_t acc = 0;
+    for (int k = 0; k < 100; ++k) acc ^= rng();
+    return acc;
+  });
+}
+
+TEST(TrialRunner, MergedResultsIdenticalAcrossThreadCounts) {
+  const auto one = runner_draws(1, 333);
+  ASSERT_EQ(one.size(), 333u);
+  for (const unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(runner_draws(threads, 333), one) << threads << " threads";
+  }
+}
+
+TEST(TrialRunner, ZeroTrialsReturnsEmpty) {
+  const runner::TrialRunner pool(4);
+  const auto r = pool.run(0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(TrialRunner, FewerTrialsThanThreads) {
+  const auto r = runner_draws(8, 3);
+  EXPECT_EQ(r, runner_draws(1, 3));
+}
+
+TEST(TrialRunner, ExceptionPropagatesWithoutDeadlock) {
+  const runner::TrialRunner pool(4);
+  EXPECT_THROW((void)pool.run(512,
+                              [](std::size_t i) {
+                                if (i >= 100) {
+                                  throw std::runtime_error("trial failed");
+                                }
+                                return i;
+                              }),
+               std::runtime_error);
+  // The pool drained cleanly: the runner is immediately reusable.
+  EXPECT_EQ(pool.run(16, [](std::size_t i) { return i; }).size(), 16u);
+}
+
+TEST(TrialRunner, SerialExceptionPropagates) {
+  const runner::TrialRunner pool(1);
+  EXPECT_THROW((void)pool.run(8,
+                              [](std::size_t i) {
+                                if (i == 5) {
+                                  throw std::invalid_argument("bad trial");
+                                }
+                                return i;
+                              }),
+               std::invalid_argument);
+}
+
+TEST(StreamSeeder, DeterministicAndDistinctFromMaster) {
+  const StreamSeeder seeder(7);
+  EXPECT_EQ(seeder.seed_for(0), seeder.seed_for(0));
+  EXPECT_NE(seeder.seed_for(0), 7u);
+  EXPECT_NE(seeder.seed_for(0), StreamSeeder(8).seed_for(0));
+}
+
+TEST(StreamSeeder, AdjacentSeedsWellMixed) {
+  // The avalanche mixer should flip roughly half the 64 bits between
+  // adjacent trial indices; [10, 54] is a very loose 6-sigma band.
+  const StreamSeeder seeder(7);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const std::uint64_t a = seeder.seed_for(i);
+    const std::uint64_t b = seeder.seed_for(i + 1);
+    ASSERT_NE(a, b);
+    const int bits = std::popcount(a ^ b);
+    EXPECT_GE(bits, 10) << "index " << i;
+    EXPECT_LE(bits, 54) << "index " << i;
+  }
+}
+
+TEST(StreamSeeder, AdjacentStreamsDecorrelated) {
+  // Pearson correlation of uniforms from adjacent streams is
+  // approximately N(0, 1/sqrt(n)); |r| < 4/sqrt(n) is a 4-sigma bound.
+  const StreamSeeder seeder(123);
+  constexpr std::size_t kN = 4096;
+  Rng a = seeder.stream(1000);
+  Rng b = seeder.stream(1001);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(kN);
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  const double r = cov / std::sqrt(vx * vy);
+  EXPECT_LT(std::abs(r), 4.0 / std::sqrt(n));
+}
+
+// Acceptance criterion: run_bouncing_mc with the same seed returns an
+// identical McResult for threads in {1, 4, hardware_concurrency}.
+TEST(ParallelDeterminism, BouncingMcIdenticalAcrossThreadCounts) {
+  bouncing::McConfig cfg;
+  cfg.paths = 400;
+  cfg.epochs = 800;
+  cfg.seed = 9;
+  const std::vector<std::size_t> snaps{200, 800};
+  cfg.threads = 1;
+  const auto base = bouncing::run_bouncing_mc(cfg, snaps);
+  for (const unsigned threads : {4u, runner::resolve_threads(0)}) {
+    cfg.threads = threads;
+    const auto r = bouncing::run_bouncing_mc(cfg, snaps);
+    EXPECT_EQ(r.epochs, base.epochs) << threads << " threads";
+    EXPECT_EQ(r.stakes, base.stakes) << threads << " threads";
+    EXPECT_EQ(r.ejected_fraction, base.ejected_fraction);
+    EXPECT_EQ(r.capped_fraction, base.capped_fraction);
+    EXPECT_EQ(r.prob_beta_exceeds, base.prob_beta_exceeds);
+  }
+}
+
+TEST(ParallelDeterminism, AttackSimIdenticalAcrossThreadCounts) {
+  bouncing::AttackSimConfig cfg;
+  cfg.runs = 200;
+  cfg.honest_validators = 30;
+  cfg.max_epochs = 2000;
+  cfg.seed = 77;
+  cfg.threads = 1;
+  const auto base = bouncing::run_attack_sim(cfg);
+  for (const unsigned threads : {4u, 8u}) {
+    cfg.threads = threads;
+    const auto r = bouncing::run_attack_sim(cfg);
+    EXPECT_EQ(r.durations, base.durations) << threads << " threads";
+    EXPECT_EQ(r.break_epochs, base.break_epochs);
+    EXPECT_EQ(r.mean_duration, base.mean_duration);
+    EXPECT_EQ(r.prob_threshold_broken, base.prob_threshold_broken);
+  }
+}
+
+TEST(ParallelDeterminism, PartitionTrialsIdenticalAcrossThreadCounts) {
+  sim::PartitionTrialsConfig cfg;
+  cfg.base.n_validators = 120;
+  cfg.base.strategy = sim::Strategy::kNone;
+  cfg.base.max_epochs = 600;
+  cfg.trials = 8;
+  cfg.seed = 5;
+  cfg.threads = 1;
+  const auto base = sim::run_partition_trials(cfg);
+  EXPECT_EQ(base.conflict_epochs.size(), cfg.trials);
+  cfg.threads = 4;
+  const auto r = sim::run_partition_trials(cfg);
+  EXPECT_EQ(r.conflict_epochs, base.conflict_epochs);
+  EXPECT_EQ(r.beta_peaks, base.beta_peaks);
+  EXPECT_EQ(r.conflicting_fraction, base.conflicting_fraction);
+  EXPECT_EQ(r.mean_conflict_epoch, base.mean_conflict_epoch);
+}
+
+TEST(ParallelDeterminism, PopulationEnsembleIdenticalAcrossThreadCounts) {
+  bouncing::PopulationEnsembleConfig cfg;
+  cfg.base.honest_validators = 40;
+  cfg.base.epochs = 400;
+  cfg.base.beta0 = 1.0 / 3.0;
+  cfg.paths = 6;
+  cfg.threads = 1;
+  const auto base = bouncing::run_population_ensemble(cfg);
+  EXPECT_EQ(base.first_exceed_epochs.size(), cfg.paths);
+  EXPECT_GE(base.exceed_fraction, 0.0);
+  EXPECT_LE(base.exceed_fraction, 1.0);
+  cfg.threads = 4;
+  const auto r = bouncing::run_population_ensemble(cfg);
+  EXPECT_EQ(r.first_exceed_epochs, base.first_exceed_epochs);
+  EXPECT_EQ(r.mean_final_beta, base.mean_final_beta);
+}
+
+}  // namespace
+}  // namespace leak
