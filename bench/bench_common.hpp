@@ -1,29 +1,22 @@
 // Shared helpers for the per-table / per-figure benchmark binaries.
 // Every binary first prints its paper-reproduction report (the rows or
 // series the paper reports, next to our computed values), then runs the
-// google-benchmark timings of the underlying kernels.
+// google-benchmark timings of the underlying kernels.  The emission
+// helpers themselves live in src/support/report.hpp, shared with the
+// scenario-result writer.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
 #include <string>
 
+#include "src/support/report.hpp"
 #include "src/support/table.hpp"
 
 namespace leak::bench {
 
-inline void print_header(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
-}
-
-/// Print a table and optionally dump it as CSV (LEAK_BENCH_CSV=1).
-inline void emit(const Table& table, const std::string& csv_name) {
-  std::printf("%s", table.to_string().c_str());
-  if (table.maybe_write_csv(csv_name)) {
-    std::printf("(wrote %s)\n", csv_name.c_str());
-  }
-}
+using reporting::emit;
+using reporting::print_header;
 
 /// Standard main: report first, then benchmark timings.
 #define LEAK_BENCH_MAIN(report_fn)                       \

@@ -10,6 +10,8 @@
 #include "src/bouncing/markov.hpp"
 #include "src/bouncing/montecarlo.hpp"
 #include "src/runner/thread_pool.hpp"
+#include "src/scenario/registry.hpp"
+#include "src/support/parse.hpp"
 
 namespace {
 
@@ -41,20 +43,25 @@ void report() {
   bench::print_header("Monte Carlo cross-check (exact discrete dynamics)");
   std::printf("(Monte Carlo on %u threads)\n", runner::resolve_threads(0));
   Table v({"beta0", "epoch", "Eq 24", "Monte Carlo"});
+  // The cross-check runs through the bouncing-mc registry scenario:
+  // one --set beta0=... away from what `leakctl sweep` executes.
+  const auto& mc_scenario =
+      *scenario::builtin_registry().find("bouncing-mc");
   for (const double b0 : {1.0 / 3.0, 0.333, 0.33}) {
-    bouncing::McConfig mc;
-    mc.beta0 = b0;
-    mc.paths = 3000;
-    mc.epochs = 6000;
-    mc.seed = 7;
-    mc.threads = 0;  // LEAK_THREADS env or hardware_concurrency
-    const auto r = bouncing::run_bouncing_mc(mc, {3000, 6000});
-    for (std::size_t k = 0; k < r.epochs.size(); ++k) {
-      v.add_row({Table::fmt(b0, 4), std::to_string(r.epochs[k]),
-                 Table::fmt(bouncing::prob_beta_exceeds_third(
-                                static_cast<double>(r.epochs[k]), b0, law,
-                                cfg), 4),
-                 Table::fmt(r.prob_beta_exceeds[k], 4)});
+    auto params = mc_scenario.spec().defaults();
+    params.set("beta0", b0);
+    params.set("paths", std::int64_t{3000});
+    params.set("epochs", std::int64_t{6000});
+    params.set("snapshots", std::string("3000,6000"));
+    params.set("seed", std::int64_t{7});
+    const auto r = mc_scenario.run(params);
+    for (std::size_t k = 0; k < r.trials->rows(); ++k) {
+      const double epoch = parse::real(r.trials->cell(k, 0)).value_or(0.0);
+      const double mc_prob = parse::real(r.trials->cell(k, 3)).value_or(0.0);
+      v.add_row({Table::fmt(b0, 4), r.trials->cell(k, 0),
+                 Table::fmt(bouncing::prob_beta_exceeds_third(epoch, b0, law,
+                                                              cfg), 4),
+                 Table::fmt(mc_prob, 4)});
     }
   }
   bench::emit(v, "fig10_mc.csv");

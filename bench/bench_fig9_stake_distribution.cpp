@@ -10,6 +10,7 @@
 #include "src/bouncing/montecarlo.hpp"
 #include "src/bouncing/walk.hpp"
 #include "src/runner/thread_pool.hpp"
+#include "src/scenario/registry.hpp"
 #include "src/support/stats.hpp"
 
 namespace {
@@ -33,25 +34,22 @@ void report() {
   bouncing::StakeLaw law(0.5, cfg);
   bench::print_header("Figure 9: censored stake law at t=4024 (p0=0.5)");
   Table p({"component", "closed form", "Monte Carlo"});
-  bouncing::McConfig mc;
-  mc.paths = 4000;
-  mc.epochs = 4024;
-  mc.seed = 99;
-  mc.threads = 0;  // LEAK_THREADS env or hardware_concurrency
-  std::printf("(Monte Carlo on %u threads)\n",
-              runner::resolve_threads(mc.threads));
-  const auto r = bouncing::run_bouncing_mc(mc, {4024});
+  // Monte Carlo through the scenario registry: the bouncing-mc
+  // defaults ARE the Figure 9 configuration (4000 paths, t=4024,
+  // seed 99), so the published numbers come from the same path a
+  // `leakctl run bouncing-mc` or a sweep cell uses.
+  const auto& mc_scenario =
+      *scenario::builtin_registry().find("bouncing-mc");
+  const auto r = mc_scenario.run(mc_scenario.spec().defaults());
+  std::printf("(Monte Carlo on %u threads, registry scenario \"%s\")\n",
+              r.threads, r.scenario.c_str());
   p.add_row({"mass at 0 (ejected)", Table::fmt(law.mass_ejected(t), 5),
-             Table::fmt(r.ejected_fraction[0], 5)});
+             Table::fmt(r.metric("ejected_fraction"), 5)});
   p.add_row({"mass at 32 (capped)", Table::fmt(law.mass_capped(t), 5),
-             Table::fmt(r.capped_fraction[0], 5)});
-  std::vector<double> alive;
-  for (double s : r.stakes[0]) {
-    if (s > 0.0) alive.push_back(s);
-  }
+             Table::fmt(r.metric("capped_fraction"), 5)});
   p.add_row({"median of bulk (ETH)",
              Table::fmt(std::exp(law.mu_ln(t)), 3),
-             Table::fmt(quantile(alive, 0.5), 3)});
+             Table::fmt(r.metric("median_alive_stake"), 3)});
   bench::emit(p, "fig9_masses.csv");
 
   Table d({"stake (ETH)", "density P(s,t)", "cdf F(s,t)"});

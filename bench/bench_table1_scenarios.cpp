@@ -5,6 +5,7 @@
 #include "src/analytic/tables.hpp"
 #include "src/bouncing/distribution.hpp"
 #include "src/runner/thread_pool.hpp"
+#include "src/scenario/registry.hpp"
 #include "src/sim/partition_sim.hpp"
 #include "src/sim/slot_sim.hpp"
 
@@ -15,13 +16,12 @@ using namespace leak;
 void report() {
   bench::print_header("Table 1: analysed scenarios and outcomes");
   const auto cfg = analytic::AnalyticConfig::paper();
-  Table t({"scenario", "byzantine behaviour", "outcome", "witness",
-           "witness value"});
-  for (const auto& row : analytic::table1(cfg)) {
-    t.add_row({row.id, row.name, row.outcome, row.witness_label,
-               Table::fmt(row.witness, 4)});
-  }
-  bench::emit(t, "table1.csv");
+  // The rows come from the `table1` registry scenario, so this report
+  // and `leakctl run table1` print the same artifact.
+  const auto& registry = scenario::builtin_registry();
+  const auto& table1_scenario = *registry.find("table1");
+  const auto t1 = table1_scenario.run(table1_scenario.spec().defaults());
+  bench::emit(*t1.trials, "table1.csv");
 
   bench::print_header("End-to-end verification of each outcome");
   Table v({"scenario", "check", "result"});
@@ -79,20 +79,19 @@ void report() {
   }
   {
     // Monte Carlo robustness of 5.1: redraw the honest split iid and
-    // check conflicting finalization survives the sampling noise.
-    sim::PartitionTrialsConfig tc;
-    tc.base.n_validators = 400;
-    tc.base.strategy = sim::Strategy::kNone;
-    tc.base.max_epochs = 5000;
-    tc.trials = 32;
-    tc.threads = 0;  // LEAK_THREADS env or hardware_concurrency
-    const auto r = sim::run_partition_trials(tc);
+    // check conflicting finalization survives the sampling noise.  The
+    // partition-trials registry defaults ARE this configuration (400
+    // validators, honest, 5000 epochs, 32 trials, seed 2024), so the
+    // published row comes from the same path `leakctl run
+    // partition-trials` uses.
+    const auto& trials_scenario = *registry.find("partition-trials");
+    const auto r = trials_scenario.run(trials_scenario.spec().defaults());
     v.add_row({"5.1", "conflicting finalization over 32 random splits "
                       "(threads=" +
-                          std::to_string(runner::resolve_threads(tc.threads)) +
-                          ")",
-               Table::fmt(r.conflicting_fraction, 3) + " of trials, mean ep " +
-                   Table::fmt(r.mean_conflict_epoch, 0)});
+                          std::to_string(r.threads) + ")",
+               Table::fmt(r.metric("conflicting_fraction"), 3) +
+                   " of trials, mean ep " +
+                   Table::fmt(r.metric("mean_conflict_epoch"), 0)});
   }
   bench::emit(v, "table1_verification.csv");
 }

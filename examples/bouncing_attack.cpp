@@ -11,12 +11,13 @@
 // thread; the Monte Carlo result is bit-identical for any value.
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "src/analytic/stake_model.hpp"
 #include "src/bouncing/distribution.hpp"
 #include "src/bouncing/markov.hpp"
-#include "src/bouncing/montecarlo.hpp"
-#include "src/runner/thread_pool.hpp"
+#include "src/scenario/registry.hpp"
+#include "src/support/parse.hpp"
 
 int main(int argc, char** argv) {
   using namespace leak;
@@ -55,20 +56,34 @@ int main(int argc, char** argv) {
               analytic::ejection_epoch(analytic::Behavior::kSemiActive,
                                        cfg));
 
+  // Monte Carlo cross-check through the scenario registry — the same
+  // artifact `leakctl run bouncing-mc --set beta0=... --set p0=...`
+  // produces.
+  const auto& mc_scenario =
+      *scenario::builtin_registry().find("bouncing-mc");
+  auto params = mc_scenario.spec().defaults();
+  params.set("beta0", beta0);
+  params.set("p0", p0);
+  params.set("paths", std::int64_t{2000});
+  params.set("epochs", std::int64_t{6000});
+  params.set("snapshots", std::string("2000,4000,6000"));
+  params.set("threads", static_cast<std::int64_t>(threads));
+  scenario::ScenarioResult r;
+  try {
+    r = mc_scenario.run(params);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bouncing_attack: %s\n", e.what());
+    return 2;
+  }
   std::printf("\nMonte Carlo cross-check (2000 paths, exact dynamics, "
-              "%u threads):\n",
-              runner::resolve_threads(threads));
-  bouncing::McConfig mc;
-  mc.beta0 = beta0;
-  mc.p0 = p0;
-  mc.paths = 2000;
-  mc.epochs = 6000;
-  mc.threads = threads;
-  const auto r = bouncing::run_bouncing_mc(mc, {2000, 4000, 6000});
-  for (std::size_t k = 0; k < r.epochs.size(); ++k) {
-    std::printf("  epoch %5zu: P=%.4f (ejected %.3f, capped %.3f)\n",
-                r.epochs[k], r.prob_beta_exceeds[k],
-                r.ejected_fraction[k], r.capped_fraction[k]);
+              "%u threads, scenario \"%s\"):\n",
+              r.threads, r.scenario.c_str());
+  for (std::size_t k = 0; k < r.trials->rows(); ++k) {
+    const auto cell = [&](std::size_t c) {
+      return parse::real(r.trials->cell(k, c)).value_or(0.0);
+    };
+    std::printf("  epoch %5.0f: P=%.4f (ejected %.3f, capped %.3f)\n",
+                cell(0), cell(3), cell(1), cell(2));
   }
   return 0;
 }

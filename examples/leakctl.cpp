@@ -1,24 +1,26 @@
-// leakctl — command-line front end over the whole library: regenerate
-// any paper artifact, query the analytic models, or run a scenario,
-// without writing code.
+// leakctl — command-line front end over the scenario registry: every
+// attack/leak experiment in the library is a named, parameterized,
+// sweepable artifact, runnable without writing code.
 //
-//   leakctl table1|table2|table3          reproduce a paper table
-//   leakctl stake <behavior> <epoch>      stake closed form (Fig 2)
-//   leakctl ratio <p0> <epoch>            active ratio (Fig 3 / Eq 5)
-//   leakctl conflict <strategy> <beta0> [p0]
-//                                         time to conflicting finalization
-//   leakctl region [p0]                   Fig 7 bound for beta > 1/3
-//   leakctl bounce <beta0> <epoch>        Eq 24 probability (Fig 10)
-//   leakctl gst                           Section 5.1 safety bound
+//   leakctl list [--json|--names]
+//   leakctl describe <scenario> [--json]
+//   leakctl run <scenario> [--set k=v]... [--paths N] [--seed N]
+//               [--threads N] [--json PATH] [--csv PATH] [--quiet]
+//   leakctl sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step]
+//               [--set k=v]... [--vary-seed] [--parallel-cells]
+//               [--json PATH] [--csv PATH] [--quiet]
+//
+// PATH "-" writes to stdout.  `leakctl list --json` feeds
+// tools/scenario_catalog.py, which generates the README "Scenario
+// catalog" section (checked fresh in CI).
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "src/analytic/solvers.hpp"
-#include "src/analytic/tables.hpp"
-#include "src/bouncing/distribution.hpp"
-#include "src/support/table.hpp"
+#include "src/scenario/registry.hpp"
+#include "src/scenario/sweep.hpp"
+#include "src/support/report.hpp"
 
 namespace {
 
@@ -28,37 +30,224 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <command> [args]\n"
-      "  table1 | table2 | table3\n"
-      "  stake <active|semi|inactive> <epoch>\n"
-      "  ratio <p0> <epoch>\n"
-      "  conflict <honest|slashable|semiactive> <beta0> [p0=0.5]\n"
-      "  region [p0=0.5]\n"
-      "  bounce <beta0> <epoch>\n"
-      "  gst\n",
+      "  list [--json|--names]              enumerate scenarios\n"
+      "  describe <scenario> [--json]       show one scenario's parameters\n"
+      "  run <scenario> [options]           run one scenario\n"
+      "  sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step] ...\n"
+      "                                     grid/list parameter sweep\n"
+      "options (run and sweep):\n"
+      "  --set k=v        set a parameter (repeatable)\n"
+      "  --paths N        shorthand for --set paths=N\n"
+      "  --seed N         shorthand for --set seed=N\n"
+      "  --threads N      shorthand for --set threads=N\n"
+      "  --json PATH      write the JSON report to PATH (\"-\" = stdout)\n"
+      "  --csv PATH       write the CSV (trial rows / sweep cells) to PATH\n"
+      "  --quiet          suppress the human-readable report\n"
+      "sweep-only options:\n"
+      "  --vary-seed      per-cell seeds from (seed, cell index)\n"
+      "  --parallel-cells fan cells across the thread pool\n",
       argv0);
   return 2;
 }
 
-int cmd_tables(const std::string& which) {
-  const auto cfg = analytic::AnalyticConfig::paper();
-  if (which == "table1") {
-    Table t({"scenario", "outcome", "witness", "value"});
-    for (const auto& r : analytic::table1(cfg)) {
-      t.add_row({r.id, r.outcome, r.witness_label,
-                 Table::fmt(r.witness, 4)});
-    }
-    std::printf("%s", t.to_string().c_str());
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "leakctl: %s\n", msg.c_str());
+  return 2;
+}
+
+int cmd_list(const scenario::ScenarioRegistry& registry,
+             const std::vector<std::string>& args) {
+  const std::string mode = args.empty() ? "" : args.front();
+  if (mode == "--json") {
+    json::Value doc = json::Value::array();
+    for (const auto* s : registry.all()) doc.push_back(s->spec().to_json());
+    std::printf("%s\n", doc.dump(2).c_str());
     return 0;
   }
-  const auto rows =
-      which == "table2" ? analytic::table2(cfg) : analytic::table3(cfg);
-  Table t({"beta0", "paper", "computed"});
-  for (const auto& r : rows) {
-    t.add_row({Table::fmt(r.beta0, 2), Table::fmt(r.paper_epochs, 0),
-               Table::fmt(r.computed_epochs, 1)});
+  if (mode == "--names") {
+    for (const auto* s : registry.all()) {
+      std::printf("%s\n", s->spec().name().c_str());
+    }
+    return 0;
+  }
+  if (!mode.empty()) return fail("unknown list option \"" + mode + "\"");
+  Table t({"scenario", "params", "description"});
+  for (const auto* s : registry.all()) {
+    t.add_row({s->spec().name(), std::to_string(s->spec().params().size()),
+               s->spec().description()});
   }
   std::printf("%s", t.to_string().c_str());
   return 0;
+}
+
+int cmd_describe(const scenario::Scenario& sc,
+                 const std::vector<std::string>& args) {
+  if (!args.empty() && args.front() == "--json") {
+    std::printf("%s\n", sc.spec().to_json().dump(2).c_str());
+    return 0;
+  }
+  if (!args.empty()) {
+    return fail("unknown describe option \"" + args.front() + "\"");
+  }
+  std::printf("%s — %s\n\n", sc.spec().name().c_str(),
+              sc.spec().description().c_str());
+  Table t({"parameter", "type", "default", "constraints", "description"});
+  for (const auto& p : sc.spec().params()) {
+    std::string constraints;
+    if (p.min_value) constraints += ">= " + Table::fmt_exact(*p.min_value);
+    if (p.max_value) {
+      if (!constraints.empty()) constraints += ", ";
+      constraints += "<= " + Table::fmt_exact(*p.max_value);
+    }
+    if (!p.choices.empty()) {
+      for (const auto& c : p.choices) {
+        if (!constraints.empty()) constraints += "|";
+        constraints += c;
+      }
+    }
+    t.add_row({p.name, scenario::param_type_name(p.type),
+               scenario::ParamSet::value_to_string(p.default_value),
+               constraints, p.description});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+/// Options shared by run and sweep.
+struct CliOptions {
+  std::vector<std::string> sets;
+  std::vector<std::string> sweeps;
+  std::string json_path;  // empty = no JSON output
+  std::string csv_path;   // empty = no CSV output
+  bool quiet = false;
+  bool vary_seed = false;
+  bool parallel_cells = false;
+};
+
+/// Parse the option tail; returns nullopt and prints usage on error.
+bool parse_options(const std::vector<std::string>& args, bool allow_sweep,
+                   CliOptions* out, std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto need_value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        *error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--set") {
+      const auto* v = need_value("--set");
+      if (v == nullptr) return false;
+      out->sets.push_back(*v);
+    } else if (a == "--paths" || a == "--seed" || a == "--threads") {
+      const auto* v = need_value(a.c_str());
+      if (v == nullptr) return false;
+      out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--sweep" && allow_sweep) {
+      const auto* v = need_value("--sweep");
+      if (v == nullptr) return false;
+      out->sweeps.push_back(*v);
+    } else if (a == "--json") {
+      const auto* v = need_value("--json");
+      if (v == nullptr) return false;
+      out->json_path = *v;
+    } else if (a == "--csv") {
+      const auto* v = need_value("--csv");
+      if (v == nullptr) return false;
+      out->csv_path = *v;
+    } else if (a == "--quiet") {
+      out->quiet = true;
+    } else if (a == "--vary-seed" && allow_sweep) {
+      out->vary_seed = true;
+    } else if (a == "--parallel-cells" && allow_sweep) {
+      out->parallel_cells = true;
+    } else {
+      *error = "unknown option \"" + a + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+int emit_artifacts(const json::Value& doc, const std::string& csv,
+                   const CliOptions& opts) {
+  if (!opts.json_path.empty()) {
+    if (!reporting::write_json(doc, opts.json_path)) {
+      return fail("cannot write " + opts.json_path);
+    }
+    if (opts.json_path != "-") {
+      std::printf("(wrote %s)\n", opts.json_path.c_str());
+    }
+  }
+  if (!opts.csv_path.empty()) {
+    if (!reporting::write_text(csv, opts.csv_path)) {
+      return fail("cannot write " + opts.csv_path);
+    }
+    if (opts.csv_path != "-") {
+      std::printf("(wrote %s)\n", opts.csv_path.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const scenario::Scenario& sc,
+            const std::vector<std::string>& args) {
+  CliOptions opts;
+  std::string error;
+  if (!parse_options(args, /*allow_sweep=*/false, &opts, &error)) {
+    return fail(error);
+  }
+  scenario::ParamSet params = sc.spec().defaults();
+  for (const auto& kv : opts.sets) {
+    if (auto err = sc.spec().apply_kv(kv, &params)) return fail(*err);
+  }
+  scenario::ScenarioResult result;
+  try {
+    result = sc.run(params);
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
+  if (!opts.quiet) std::printf("%s", result.to_text().c_str());
+  return emit_artifacts(result.to_json(), result.trials_to_csv(), opts);
+}
+
+int cmd_sweep(const scenario::Scenario& sc,
+              const std::vector<std::string>& args) {
+  CliOptions opts;
+  std::string error;
+  if (!parse_options(args, /*allow_sweep=*/true, &opts, &error)) {
+    return fail(error);
+  }
+  if (opts.sweeps.empty()) {
+    return fail("sweep needs at least one --sweep k=v1,v2,...");
+  }
+  scenario::ParamSet base = sc.spec().defaults();
+  for (const auto& kv : opts.sets) {
+    if (auto err = sc.spec().apply_kv(kv, &base)) return fail(*err);
+  }
+  std::vector<scenario::SweepAxis> axes;
+  for (const auto& text : opts.sweeps) {
+    scenario::SweepAxis axis;
+    if (auto err = scenario::parse_sweep_axis(sc.spec(), text, &axis)) {
+      return fail(*err);
+    }
+    axes.push_back(std::move(axis));
+  }
+  scenario::SweepConfig config;
+  config.vary_seed = opts.vary_seed;
+  config.parallel_cells = opts.parallel_cells;
+  // With --parallel-cells the pool size comes from the threads
+  // parameter (cells themselves are pinned to one inner thread).
+  config.threads = static_cast<unsigned>(base.get_int("threads"));
+  scenario::SweepResult result;
+  try {
+    result = scenario::run_sweep(sc, base, std::move(axes), config);
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
+  if (!opts.quiet) std::printf("%s", result.to_text().c_str());
+  return emit_artifacts(result.to_json(), result.to_csv(), opts);
 }
 
 }  // namespace
@@ -66,78 +255,24 @@ int cmd_tables(const std::string& which) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string cmd = argv[1];
-  const auto cfg = analytic::AnalyticConfig::paper();
+  const auto& registry = scenario::builtin_registry();
 
-  if (cmd == "table1" || cmd == "table2" || cmd == "table3") {
-    return cmd_tables(cmd);
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  if (cmd == "list") return cmd_list(registry, args);
+  if (cmd != "describe" && cmd != "run" && cmd != "sweep") {
+    return usage(argv[0]);
   }
-  if (cmd == "stake" && argc >= 4) {
-    const std::string b = argv[2];
-    const double t = std::atof(argv[3]);
-    analytic::Behavior behavior = analytic::Behavior::kInactive;
-    if (b == "active") behavior = analytic::Behavior::kActive;
-    else if (b == "semi") behavior = analytic::Behavior::kSemiActive;
-    else if (b != "inactive") return usage(argv[0]);
-    std::printf("stake(%s, t=%.0f) = %.4f ETH (ejection at %.0f)\n",
-                b.c_str(), t,
-                analytic::stake_with_ejection(behavior, t, cfg),
-                analytic::ejection_epoch(behavior, cfg));
-    return 0;
+  if (args.empty()) return fail(cmd + " needs a scenario name");
+  const std::string name = args.front();
+  args.erase(args.begin());
+  const scenario::Scenario* sc = registry.find(name);
+  if (sc == nullptr) {
+    return fail("unknown scenario \"" + name +
+                "\" (try: " + std::string(argv[0]) + " list)");
   }
-  if (cmd == "ratio" && argc >= 4) {
-    const double p0 = std::atof(argv[2]);
-    const double t = std::atof(argv[3]);
-    std::printf("active ratio(p0=%.2f, t=%.0f) = %.4f (2/3 at t=%.0f)\n",
-                p0, t, analytic::active_ratio_honest(t, p0, cfg),
-                analytic::time_to_supermajority_honest(p0, cfg));
-    return 0;
-  }
-  if (cmd == "conflict" && argc >= 4) {
-    const std::string s = argv[2];
-    const double beta0 = std::atof(argv[3]);
-    const double p0 = argc >= 5 ? std::atof(argv[4]) : 0.5;
-    analytic::ByzantineStrategy strat = analytic::ByzantineStrategy::kNone;
-    if (s == "slashable") strat = analytic::ByzantineStrategy::kSlashable;
-    else if (s == "semiactive") {
-      strat = analytic::ByzantineStrategy::kSemiActive;
-    } else if (s != "honest") {
-      return usage(argv[0]);
-    }
-    const double t =
-        analytic::conflicting_finalization_epoch(p0, beta0, strat, cfg);
-    std::printf("conflicting finalization (%s, beta0=%.2f, p0=%.2f): "
-                "%.0f epochs (~%.1f days)\n",
-                s.c_str(), beta0, p0, t, t * 6.4 / 60.0 / 24.0);
-    return 0;
-  }
-  if (cmd == "region") {
-    const double p0 = argc >= 3 ? std::atof(argv[2]) : 0.5;
-    std::printf("min beta0 for beta > 1/3 on both branches at p0=%.2f: "
-                "%.4f (branch 1 alone: %.4f)\n",
-                p0,
-                std::max(analytic::beta0_lower_bound(p0, cfg),
-                         analytic::beta0_lower_bound(1.0 - p0, cfg)),
-                analytic::beta0_lower_bound(p0, cfg));
-    return 0;
-  }
-  if (cmd == "bounce" && argc >= 4) {
-    const double beta0 = std::atof(argv[2]);
-    const double t = std::atof(argv[3]);
-    bouncing::StakeLaw law(0.5, cfg);
-    std::printf("P[beta > 1/3 | bouncing, beta0=%.4f, t=%.0f] = %.4f "
-                "(both branches: %.4f)\n",
-                beta0, t,
-                bouncing::prob_beta_exceeds_third(t, beta0, law, cfg),
-                bouncing::prob_beta_exceeds_third_either_branch(t, beta0,
-                                                                law, cfg));
-    return 0;
-  }
-  if (cmd == "gst") {
-    std::printf("GST safety upper bound (honest only): %.0f epochs "
-                "(~%.1f days)\n",
-                analytic::gst_safety_upper_bound(cfg),
-                analytic::gst_safety_upper_bound(cfg) * 6.4 / 60.0 / 24.0);
-    return 0;
-  }
-  return usage(argv[0]);
+  if (cmd == "describe") return cmd_describe(*sc, args);
+  if (cmd == "run") return cmd_run(*sc, args);
+  return cmd_sweep(*sc, args);
 }

@@ -14,10 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "src/analytic/solvers.hpp"
-#include "src/runner/thread_pool.hpp"
+#include "src/scenario/registry.hpp"
 #include "src/sim/partition_sim.hpp"
 
 int main(int argc, char** argv) {
@@ -97,21 +98,36 @@ int main(int argc, char** argv) {
   // Monte Carlo over the honest split: the deterministic run above
   // rounds p0 into fixed branch populations; redrawing the assignment
   // iid measures how sensitive the outcome is to the realised split.
+  // Runs through the partition-trials registry scenario (same artifact
+  // as `leakctl run partition-trials --set strategy=...`).
   {
-    sim::PartitionTrialsConfig tc;
-    tc.base = cfg;
-    tc.base.trajectory_stride = cfg.max_epochs;  // skip trajectories
-    tc.trials = 32;
-    tc.threads = threads;
-    const auto mc = sim::run_partition_trials(tc);
-    std::printf("\nMonte Carlo over %zu random honest splits "
-                "(%u threads):\n",
-                mc.trials, runner::resolve_threads(threads));
+    const auto& trials_scenario =
+        *scenario::builtin_registry().find("partition-trials");
+    auto params = trials_scenario.spec().defaults();
+    params.set("paths", std::int64_t{32});
+    params.set("n_validators",
+               static_cast<std::int64_t>(cfg.n_validators));
+    params.set("beta0", beta0);
+    params.set("p0", p0);
+    params.set("strategy", std::string(argc > 1 ? argv[1] : "slashable"));
+    params.set("max_epochs", static_cast<std::int64_t>(cfg.max_epochs));
+    params.set("threads", static_cast<std::int64_t>(threads));
+    scenario::ScenarioResult mc;
+    try {
+      mc = trials_scenario.run(params);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "partition_attack: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\nMonte Carlo over 32 random honest splits "
+                "(%u threads, scenario \"%s\"):\n",
+                mc.threads, mc.scenario.c_str());
     std::printf("  conflicting finalization in %.0f%% of trials"
                 " (mean epoch %.0f); beta > 1/3 on both branches in "
                 "%.0f%%\n",
-                100.0 * mc.conflicting_fraction, mc.mean_conflict_epoch,
-                100.0 * mc.beta_exceeded_fraction);
+                100.0 * mc.metric("conflicting_fraction"),
+                mc.metric("mean_conflict_epoch"),
+                100.0 * mc.metric("beta_exceeded_fraction"));
   }
 
   // Closed-form prediction for comparison.

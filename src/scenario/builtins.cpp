@@ -1,0 +1,487 @@
+// Built-in scenario registrations: one adapter per existing driver.
+// Each registration is a spec (typed parameters with defaults that
+// reproduce the corresponding paper artifact) plus a run function that
+// maps the validated ParamSet onto the driver's config struct and the
+// driver's result onto the uniform ScenarioResult.  Every Monte Carlo
+// scenario fans its trials through TrialRunner, so results are
+// bit-identical for any thread count.
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/analytic/duty_cycle.hpp"
+#include "src/analytic/recovery.hpp"
+#include "src/analytic/stake_model.hpp"
+#include "src/analytic/tables.hpp"
+#include "src/bouncing/attack_sim.hpp"
+#include "src/bouncing/montecarlo.hpp"
+#include "src/runner/trial_runner.hpp"
+#include "src/scenario/registry.hpp"
+#include "src/sim/partition_sim.hpp"
+#include "src/sim/slot_sim.hpp"
+#include "src/support/parse.hpp"
+#include "src/support/random.hpp"
+#include "src/support/stats.hpp"
+
+namespace leak::scenario {
+
+namespace {
+
+[[noreturn]] void bad_params(const std::string& msg) {
+  throw std::invalid_argument(msg);
+}
+
+/// Parse a comma-separated, strictly increasing epoch grid ("2000,4024").
+std::vector<std::size_t> parse_snapshot_grid(const std::string& text,
+                                             std::size_t max_epoch) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    const auto piece = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    const auto v = parse::u64(piece);
+    if (!v || *v == 0) {
+      bad_params("snapshots: \"" + piece + "\" is not a positive epoch");
+    }
+    if (!out.empty() && *v <= out.back()) {
+      bad_params("snapshots must be strictly increasing");
+    }
+    if (*v > max_epoch) {
+      bad_params("snapshot epoch " + std::to_string(*v) +
+                 " is beyond epochs=" + std::to_string(max_epoch));
+    }
+    out.push_back(static_cast<std::size_t>(*v));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+double median_alive(const std::vector<double>& stakes) {
+  std::vector<double> alive;
+  for (const double s : stakes) {
+    if (s > 0.0) alive.push_back(s);
+  }
+  return alive.empty() ? 0.0 : quantile(std::move(alive), 0.5);
+}
+
+sim::Strategy strategy_from_name(const std::string& name) {
+  if (name == "honest") return sim::Strategy::kNone;
+  if (name == "slashable") return sim::Strategy::kSlashable;
+  if (name == "semiactive") return sim::Strategy::kSemiActiveFinalize;
+  return sim::Strategy::kSemiActiveOverthrow;  // "overthrow"
+}
+
+// --- bouncing-mc --------------------------------------------------------
+// Figure 9 defaults: censored stake law at t = 4024, 4000 paths, seed 99.
+
+void register_bouncing_mc(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "bouncing-mc",
+      "Monte Carlo of the Figure 8 bouncing-attack stake dynamics; "
+      "empirical censored stake law vs the closed form (Fig 9) and "
+      "P[beta > 1/3] (Fig 10 cross-check)");
+  spec.add_int("paths", "independent Monte Carlo paths", 4000, 1, 1e9)
+      .add_int("epochs", "horizon in epochs", 4024, 1, 1e7)
+      .add_double("p0", "honest branch-assignment probability", 0.5, 0.0, 1.0)
+      .add_double("beta0", "Byzantine stake proportion", 0.33, 0.0, 0.5)
+      .add_string("snapshots",
+                  "comma-separated snapshot epochs; empty = final epoch only",
+                  "")
+      .add_int("seed", "master RNG seed", 99)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    bouncing::McConfig cfg;
+    cfg.paths = static_cast<std::size_t>(p.get_int("paths"));
+    cfg.epochs = static_cast<std::size_t>(p.get_int("epochs"));
+    cfg.p0 = p.get_double("p0");
+    cfg.beta0 = p.get_double("beta0");
+    cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    std::vector<std::size_t> snaps;
+    const std::string& grid = p.get_string("snapshots");
+    if (grid.empty()) {
+      snaps = {cfg.epochs};
+    } else {
+      snaps = parse_snapshot_grid(grid, cfg.epochs);
+    }
+    const auto res = bouncing::run_bouncing_mc(cfg, snaps);
+
+    Table rows({"epoch", "ejected_fraction", "capped_fraction",
+                "prob_beta_exceeds", "median_alive_stake"});
+    for (std::size_t k = 0; k < res.epochs.size(); ++k) {
+      rows.add_row({std::to_string(res.epochs[k]),
+                    Table::fmt_exact(res.ejected_fraction[k]),
+                    Table::fmt_exact(res.capped_fraction[k]),
+                    Table::fmt_exact(res.prob_beta_exceeds[k]),
+                    Table::fmt_exact(median_alive(res.stakes[k]))});
+    }
+    out->trials = std::move(rows);
+
+    const std::size_t last = res.epochs.size() - 1;
+    out->add_metric("ejected_fraction", res.ejected_fraction[last]);
+    out->add_metric("capped_fraction", res.capped_fraction[last]);
+    out->add_metric("prob_beta_exceeds", res.prob_beta_exceeds[last]);
+    out->add_metric("median_alive_stake", median_alive(res.stakes[last]));
+    RunningStats final_stakes;
+    for (const double s : res.stakes[last]) final_stakes.add(s);
+    out->add_stats("final_stake", final_stakes);
+  });
+}
+
+// --- attack-lifetime ----------------------------------------------------
+
+void register_attack_lifetime(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "attack-lifetime",
+      "Stochastic lifetime of the probabilistic bouncing attack "
+      "(Section 5.3): per-epoch proposer lottery, attack-duration "
+      "distribution, and P[beta crosses 1/3 before the attack dies]");
+  spec.add_int("paths", "independent attack runs", 1000, 1, 1e9)
+      .add_double("beta0", "initial Byzantine stake proportion", 0.33, 0.0,
+                  0.5)
+      .add_double("p0", "honest split maintained by the adversary", 0.5, 0.0,
+                  1.0)
+      .add_int("j", "proposer slots usable per epoch", 8, 1, 32)
+      .add_int("honest_validators", "honest validators per run", 200, 1, 1e6)
+      .add_int("max_epochs", "horizon in epochs", 8000, 1, 1e7)
+      .add_bool("stake_weighted",
+                "continuation lottery uses the current stake-weighted beta "
+                "(false = constant beta0 paper bound)",
+                true)
+      .add_int("seed", "master RNG seed", 2024)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    bouncing::AttackSimConfig cfg;
+    cfg.runs = static_cast<std::size_t>(p.get_int("paths"));
+    cfg.beta0 = p.get_double("beta0");
+    cfg.p0 = p.get_double("p0");
+    cfg.j = static_cast<int>(p.get_int("j"));
+    cfg.honest_validators =
+        static_cast<std::size_t>(p.get_int("honest_validators"));
+    cfg.max_epochs = static_cast<std::size_t>(p.get_int("max_epochs"));
+    cfg.stake_weighted_lottery = p.get_bool("stake_weighted");
+    cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    const auto res = bouncing::run_attack_sim(cfg);
+
+    out->add_metric("prob_threshold_broken", res.prob_threshold_broken);
+    out->add_metric("mean_duration", res.mean_duration);
+    out->add_metric("median_duration", res.median_duration);
+    out->add_metric("p99_duration", res.p99_duration);
+    out->add_metric(
+        "expected_duration_const_beta",
+        bouncing::expected_duration_constant_beta(cfg.beta0, cfg.j));
+    RunningStats durations;
+    for (const auto d : res.durations) {
+      durations.add(static_cast<double>(d));
+    }
+    out->add_stats("duration", durations);
+    Table rows({"run", "duration"});
+    for (std::size_t i = 0; i < res.durations.size(); ++i) {
+      rows.add_row({std::to_string(i), std::to_string(res.durations[i])});
+    }
+    out->trials = std::move(rows);
+  });
+}
+
+// --- population-ensemble ------------------------------------------------
+
+void register_population_ensemble(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "population-ensemble",
+      "Ensemble of finite-population bouncing runs: N honest validators "
+      "per path, per-epoch branch-level Byzantine proportion, fraction "
+      "of paths where beta ever exceeds 1/3");
+  spec.add_int("paths", "independent population runs", 100, 1, 1e9)
+      .add_int("honest_validators", "honest validators per run", 200, 1, 1e6)
+      .add_int("epochs", "horizon in epochs", 6000, 1, 1e7)
+      .add_double("p0", "honest branch-assignment probability", 0.5, 0.0, 1.0)
+      .add_double("beta0", "Byzantine stake proportion", 0.33, 0.0, 0.5)
+      .add_int("seed", "master RNG seed", 11)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    bouncing::PopulationEnsembleConfig cfg;
+    cfg.base.honest_validators =
+        static_cast<std::uint32_t>(p.get_int("honest_validators"));
+    cfg.base.epochs = static_cast<std::size_t>(p.get_int("epochs"));
+    cfg.base.p0 = p.get_double("p0");
+    cfg.base.beta0 = p.get_double("beta0");
+    cfg.base.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    cfg.paths = static_cast<std::size_t>(p.get_int("paths"));
+    cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    const auto res = bouncing::run_population_ensemble(cfg);
+
+    out->add_metric("exceed_fraction", res.exceed_fraction);
+    out->add_metric("mean_final_beta", res.mean_final_beta);
+    RunningStats exceed_epochs;
+    Table rows({"path", "first_exceed_epoch"});
+    for (std::size_t i = 0; i < res.first_exceed_epochs.size(); ++i) {
+      const auto e = res.first_exceed_epochs[i];
+      if (e >= 0) exceed_epochs.add(static_cast<double>(e));
+      rows.add_row({std::to_string(i), std::to_string(e)});
+    }
+    out->add_stats("first_exceed_epoch", exceed_epochs);
+    out->trials = std::move(rows);
+  });
+}
+
+// --- partition-trials ---------------------------------------------------
+// Defaults match the Table 1 end-to-end verification row: 32 random
+// honest splits of the Section 5.1 scenario (400 validators, honest,
+// 5000-epoch horizon, seed 2024).
+
+void register_partition_trials(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "partition-trials",
+      "Monte Carlo over the Section 5 partition scenarios: each trial "
+      "redraws the honest branch assignment iid and runs the "
+      "epoch-granular partition simulator (conflicting finalization, "
+      "beta > 1/3 on both branches)");
+  spec.add_int("paths", "randomized-split trials", 32, 1, 1e9)
+      .add_int("n_validators", "total validators", 400, 2, 1e6)
+      .add_double("beta0", "Byzantine stake proportion", 0.0, 0.0, 0.5)
+      .add_double("p0", "honest proportion on branch 1", 0.5, 0.0, 1.0)
+      .add_string("strategy", "Byzantine strategy during the partition",
+                  "honest", {"honest", "slashable", "semiactive", "overthrow"})
+      .add_int("max_epochs", "horizon in epochs", 5000, 1, 1e7)
+      .add_int("seed", "master RNG seed", 2024)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    sim::PartitionTrialsConfig cfg;
+    cfg.base.n_validators =
+        static_cast<std::uint32_t>(p.get_int("n_validators"));
+    cfg.base.beta0 = p.get_double("beta0");
+    cfg.base.p0 = p.get_double("p0");
+    cfg.base.strategy = strategy_from_name(p.get_string("strategy"));
+    cfg.base.max_epochs = static_cast<std::size_t>(p.get_int("max_epochs"));
+    // Trajectories are per-epoch bulk the trials never read; sample at
+    // the horizon only.
+    cfg.base.trajectory_stride = cfg.base.max_epochs;
+    cfg.trials = static_cast<std::size_t>(p.get_int("paths"));
+    cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    const auto res = sim::run_partition_trials(cfg);
+
+    out->add_metric("conflicting_fraction", res.conflicting_fraction);
+    out->add_metric("beta_exceeded_fraction", res.beta_exceeded_fraction);
+    out->add_metric("mean_conflict_epoch", res.mean_conflict_epoch);
+    RunningStats peaks;
+    Table rows({"trial", "conflict_epoch", "beta_peak"});
+    for (std::size_t i = 0; i < res.conflict_epochs.size(); ++i) {
+      peaks.add(res.beta_peaks[i]);
+      rows.add_row({std::to_string(i), std::to_string(res.conflict_epochs[i]),
+                    Table::fmt_exact(res.beta_peaks[i])});
+    }
+    out->add_stats("beta_peak", peaks);
+    out->trials = std::move(rows);
+  });
+}
+
+// --- duty-cycle ---------------------------------------------------------
+
+void register_duty_cycle(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "duty-cycle",
+      "Closed-form 1-in-k duty-cycle family (active / semi-active / "
+      "inactive generalization) and the m-branch attack bounds; "
+      "deterministic, paths/seed ignored");
+  spec.add_int("k_max", "largest duty cycle 1/k to tabulate", 8, 1, 64)
+      .add_double("t_eval", "epoch at which to evaluate the stake", 1000.0,
+                  1.0, 1e7)
+      .add_double("beta0", "Byzantine proportion for the m-branch bounds",
+                  0.33, 0.0, 0.5)
+      .add_int("paths", "(ignored - deterministic scenario)", 1, 1, 1e9)
+      .add_int("seed", "(ignored - deterministic scenario)", 0)
+      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    const auto cfg = analytic::AnalyticConfig::paper();
+    const auto k_max = static_cast<unsigned>(p.get_int("k_max"));
+    const double t_eval = p.get_double("t_eval");
+    const double beta0 = p.get_double("beta0");
+
+    Table rows({"k", "score_slope", "ejection_epoch", "stake_at_t",
+                "mbranch_supermajority_epoch", "mbranch_beta_max"});
+    for (unsigned k = 1; k <= k_max; ++k) {
+      const bool multi = k >= 2;
+      rows.add_row(
+          {std::to_string(k),
+           Table::fmt_exact(analytic::duty_cycle_slope(k, cfg)),
+           Table::fmt_exact(analytic::duty_cycle_ejection_epoch(k, cfg)),
+           Table::fmt_exact(analytic::duty_cycle_stake(k, t_eval, cfg)),
+           multi ? Table::fmt_exact(
+                       analytic::multibranch_supermajority_epoch(k, beta0,
+                                                                 cfg))
+                 : "-",
+           multi ? Table::fmt_exact(
+                       analytic::multibranch_beta_max(k, beta0, cfg))
+                 : "-"});
+    }
+    out->trials = std::move(rows);
+
+    out->add_metric("semi_active_slope", analytic::duty_cycle_slope(2, cfg));
+    out->add_metric("semi_active_ejection_epoch",
+                    analytic::duty_cycle_ejection_epoch(2, cfg));
+    out->add_metric("stake_at_t_k2",
+                    analytic::duty_cycle_stake(2, t_eval, cfg));
+    out->add_metric("beta0_lower_bound_m2",
+                    analytic::multibranch_beta0_lower_bound(2, cfg));
+    if (k_max >= 3) {
+      out->add_metric("beta0_lower_bound_m3",
+                      analytic::multibranch_beta0_lower_bound(3, cfg));
+    }
+  });
+}
+
+// --- recovery -----------------------------------------------------------
+
+void register_recovery(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "recovery",
+      "Post-leak recovery tail (Figure 3 discussion): score decay after "
+      "finalization resumes and the residual stake lost, closed form vs "
+      "exact discrete recurrence; deterministic, paths/seed ignored");
+  spec.add_double("t_end", "epoch at which the leak ends", 500.0, 1.0, 1e7)
+      .add_int("paths", "(ignored - deterministic scenario)", 1, 1, 1e9)
+      .add_int("seed", "(ignored - deterministic scenario)", 0)
+      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    const auto cfg = analytic::AnalyticConfig::paper();
+    const double t_end = p.get_double("t_end");
+    const double score0 = analytic::score_at_leak_end(t_end, cfg);
+    const double stake_end = analytic::stake_with_ejection(
+        analytic::Behavior::kInactive, t_end, cfg);
+    const double closed = analytic::residual_loss(score0, stake_end, cfg);
+    const double discrete =
+        analytic::residual_loss_discrete(score0, stake_end, cfg);
+    out->add_metric("score_at_leak_end", score0);
+    out->add_metric("stake_at_leak_end", stake_end);
+    out->add_metric("recovery_epochs", analytic::recovery_epochs(score0));
+    out->add_metric("residual_loss_closed", closed);
+    out->add_metric("residual_loss_discrete", discrete);
+    out->add_metric("closed_vs_discrete_abs_err",
+                    std::fabs(closed - discrete));
+  });
+}
+
+// --- slot-protocol ------------------------------------------------------
+
+void register_slot_protocol(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "slot-protocol",
+      "Full slot-level protocol simulation (proposers, gossip, "
+      "LMD-GHOST, FFG, slashing): N independent seeds through the "
+      "trial runner, measuring finality progress, safety violations, "
+      "and slashing detection");
+  spec.add_int("paths", "independent simulation trials", 4, 1, 1e6)
+      .add_int("n_honest", "honest validators", 32, 1, 4096)
+      .add_int("n_byzantine", "Byzantine (equivocating) validators", 0, 0,
+               4096)
+      .add_int("epochs", "horizon in epochs", 8, 1, 256)
+      .add_double("p0", "honest fraction assigned to region one", 1.0, 0.0,
+                  1.0)
+      .add_double("gst_epoch",
+                  "epoch at which the partition heals (0 = no partition)",
+                  0.0, 0.0, 1e6)
+      .add_double("delta", "network delay bound in seconds", 1.0, 0.0, 60.0)
+      .add_int("seed", "master RNG seed", 1)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    sim::SlotSimConfig base;
+    base.n_honest = static_cast<std::uint32_t>(p.get_int("n_honest"));
+    base.n_byzantine = static_cast<std::uint32_t>(p.get_int("n_byzantine"));
+    base.epochs = static_cast<std::size_t>(p.get_int("epochs"));
+    base.p0 = p.get_double("p0");
+    base.gst_epoch = p.get_double("gst_epoch");
+    base.delta = p.get_double("delta");
+    const auto paths = static_cast<std::size_t>(p.get_int("paths"));
+    const StreamSeeder seeder(
+        static_cast<std::uint64_t>(p.get_int("seed")));
+    const runner::TrialRunner pool(
+        static_cast<unsigned>(p.get_int("threads")));
+    const auto trials = pool.run(paths, [&](std::size_t i) {
+      sim::SlotSimConfig cfg = base;
+      cfg.seed = seeder.seed_for(i);
+      return sim::SlotSim(cfg).run();
+    });
+
+    RunningStats finalized, violations, slashed, messages;
+    std::size_t leaks = 0;
+    Table rows({"trial", "finalized_epoch", "justified_epoch",
+                "safety_violations", "slashed", "messages", "leak_observed"});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const auto& t = trials[i];
+      const double fin =
+          t.finalized_epoch.empty()
+              ? 0.0
+              : static_cast<double>(t.finalized_epoch.front());
+      const double just =
+          t.justified_epoch.empty()
+              ? 0.0
+              : static_cast<double>(t.justified_epoch.front());
+      finalized.add(fin);
+      violations.add(static_cast<double>(t.safety_violations));
+      slashed.add(static_cast<double>(t.slashed.size()));
+      messages.add(static_cast<double>(t.messages_delivered));
+      if (t.leak_observed) ++leaks;
+      rows.add_row({std::to_string(i), Table::fmt_exact(fin),
+                    Table::fmt_exact(just),
+                    std::to_string(t.safety_violations),
+                    std::to_string(t.slashed.size()),
+                    std::to_string(t.messages_delivered),
+                    t.leak_observed ? "true" : "false"});
+    }
+    out->add_metric("mean_finalized_epoch", finalized.mean());
+    out->add_metric("mean_safety_violations", violations.mean());
+    out->add_metric("mean_slashed", slashed.mean());
+    out->add_metric("mean_messages", messages.mean());
+    out->add_metric("leak_observed_fraction",
+                    trials.empty() ? 0.0
+                                   : static_cast<double>(leaks) /
+                                         static_cast<double>(trials.size()));
+    out->add_stats("finalized_epoch", finalized);
+    out->trials = std::move(rows);
+  });
+}
+
+// --- table1 -------------------------------------------------------------
+
+void register_table1(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "table1",
+      "Paper Table 1: the five analysed scenarios with their outcomes "
+      "and a quantitative witness each, computed end to end; "
+      "deterministic, paths/seed ignored");
+  spec.add_int("paths", "(ignored - deterministic scenario)", 1, 1, 1e9)
+      .add_int("seed", "(ignored - deterministic scenario)", 0)
+      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    (void)p;
+    const auto cfg = analytic::AnalyticConfig::paper();
+    Table rows({"scenario", "byzantine behaviour", "outcome", "witness",
+                "witness_value"});
+    for (const auto& row : analytic::table1(cfg)) {
+      rows.add_row({row.id, row.name, row.outcome, row.witness_label,
+                    Table::fmt_exact(row.witness)});
+      out->add_metric("witness_" + row.id, row.witness);
+    }
+    out->trials = std::move(rows);
+  });
+}
+
+}  // namespace
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  register_bouncing_mc(registry);
+  register_attack_lifetime(registry);
+  register_population_ensemble(registry);
+  register_partition_trials(registry);
+  register_duty_cycle(registry);
+  register_recovery(registry);
+  register_slot_protocol(registry);
+  register_table1(registry);
+}
+
+}  // namespace leak::scenario

@@ -1,0 +1,84 @@
+#include "src/scenario/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "src/runner/thread_pool.hpp"
+#include "src/support/version.hpp"
+
+namespace leak::scenario {
+
+Scenario::Scenario(ScenarioSpec spec, RunFn run)
+    : spec_(std::move(spec)), run_(std::move(run)) {
+  if (!run_) {
+    throw std::invalid_argument("Scenario \"" + spec_.name() +
+                                "\": null run function");
+  }
+}
+
+ScenarioResult Scenario::run(const ParamSet& params) const {
+  if (auto err = spec_.validate(params)) {
+    throw std::invalid_argument("scenario \"" + spec_.name() + "\": " + *err);
+  }
+  ScenarioResult result;
+  result.scenario = spec_.name();
+  result.params = params;
+  result.seed = static_cast<std::uint64_t>(params.get_int("seed"));
+  result.threads = runner::resolve_threads(
+      static_cast<unsigned>(params.get_int("threads")));
+  result.git_describe = git_describe();
+  const auto start = std::chrono::steady_clock::now();
+  run_(params, &result);
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec, RunFn run) {
+  if (find(spec.name()) != nullptr) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario \"" +
+                                spec.name() + "\"");
+  }
+  for (const char* required : {"paths", "seed", "threads"}) {
+    const ParamSpec* p = spec.find(required);
+    if (p == nullptr || p->type != ParamType::kInt) {
+      throw std::invalid_argument(
+          "ScenarioRegistry: scenario \"" + spec.name() +
+          "\" must declare the int parameter \"" + required +
+          "\" (uniform tooling contract)");
+    }
+  }
+  scenarios_.push_back(
+      std::make_unique<Scenario>(std::move(spec), std::move(run)));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& s : scenarios_) {
+    if (s->spec().name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.get());
+  std::sort(out.begin(), out.end(), [](const Scenario* a, const Scenario* b) {
+    return a->spec().name() < b->spec().name();
+  });
+  return out;
+}
+
+ScenarioRegistry& builtin_registry() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace leak::scenario

@@ -1,0 +1,65 @@
+// Uniform output of every registry scenario: named scalar metrics,
+// summary statistics over per-trial samples, an optional per-trial
+// table, and reproduction metadata (seed, threads, git describe, wall
+// time).  One JSON shape for every experiment, so sweep artifacts and
+// CI smoke runs are machine-comparable across scenarios.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/scenario/spec.hpp"
+#include "src/support/json.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace leak::scenario {
+
+/// Frozen summary of a per-trial sample (from RunningStats).
+struct MetricStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  ParamSet params;
+
+  /// Named scalar outcomes, in emission order.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Named distributions summarized over trials.
+  std::vector<std::pair<std::string, MetricStats>> stats;
+  /// Optional per-trial (or per-grid-point) rows.
+  std::optional<Table> trials;
+
+  // Reproduction metadata, stamped by Scenario::run.
+  std::uint64_t seed = 0;
+  unsigned threads = 0;
+  std::string git_describe;
+  double wall_ms = 0.0;
+
+  void add_metric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  void add_stats(std::string name, const RunningStats& s);
+
+  /// Lookup a scalar metric; throws std::out_of_range when absent.
+  [[nodiscard]] double metric(std::string_view name) const;
+  [[nodiscard]] bool has_metric(std::string_view name) const;
+
+  /// Full machine-readable report.
+  [[nodiscard]] json::Value to_json() const;
+  /// Per-trial rows as CSV ("" when the scenario emitted none).
+  [[nodiscard]] std::string trials_to_csv() const;
+  /// Human-readable report (metadata, metrics, stats, trial rows).
+  [[nodiscard]] std::string to_text(std::size_t max_trial_rows = 24) const;
+};
+
+}  // namespace leak::scenario

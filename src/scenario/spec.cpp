@@ -1,0 +1,544 @@
+#include "src/scenario/spec.hpp"
+
+#include <stdexcept>
+
+#include "src/support/parse.hpp"
+#include "src/support/table.hpp"
+
+namespace leak::scenario {
+
+namespace {
+
+std::string join_choices(const std::vector<std::string>& choices) {
+  std::string out;
+  for (const auto& c : choices) {
+    if (!out.empty()) out += "|";
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* param_type_name(ParamType t) {
+  switch (t) {
+    case ParamType::kInt:
+      return "int";
+    case ParamType::kDouble:
+      return "double";
+    case ParamType::kBool:
+      return "bool";
+    case ParamType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ParamType param_type_of(const ParamValue& v) {
+  switch (v.index()) {
+    case 0:
+      return ParamType::kInt;
+    case 1:
+      return ParamType::kDouble;
+    case 2:
+      return ParamType::kBool;
+    default:
+      return ParamType::kString;
+  }
+}
+
+// --- ParamSet -----------------------------------------------------------
+
+void ParamSet::set(std::string name, ParamValue value) {
+  for (auto& [n, v] : items_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+const ParamValue* ParamSet::find(std::string_view name) const {
+  for (const auto& [n, v] : items_) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+[[noreturn]] void missing_param(std::string_view name) {
+  throw std::out_of_range("ParamSet: no parameter \"" + std::string(name) +
+                          "\"");
+}
+
+[[noreturn]] void wrong_type(std::string_view name, const char* want,
+                             ParamType got) {
+  throw std::logic_error("ParamSet: parameter \"" + std::string(name) +
+                         "\" is " + param_type_name(got) + ", wanted " +
+                         want);
+}
+
+}  // namespace
+
+std::int64_t ParamSet::get_int(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) missing_param(name);
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  wrong_type(name, "int", param_type_of(*v));
+}
+
+double ParamSet::get_double(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) missing_param(name);
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(v)) {
+    return static_cast<double>(*i);
+  }
+  wrong_type(name, "double", param_type_of(*v));
+}
+
+bool ParamSet::get_bool(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) missing_param(name);
+  if (const auto* b = std::get_if<bool>(v)) return *b;
+  wrong_type(name, "bool", param_type_of(*v));
+}
+
+const std::string& ParamSet::get_string(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) missing_param(name);
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  wrong_type(name, "string", param_type_of(*v));
+}
+
+std::string ParamSet::value_to_string(const ParamValue& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<std::int64_t>(v));
+    case 1:
+      return Table::fmt_exact(std::get<double>(v));
+    case 2:
+      return std::get<bool>(v) ? "true" : "false";
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+json::Value ParamSet::to_json() const {
+  json::Value obj = json::Value::object();
+  for (const auto& [name, value] : items_) {
+    switch (value.index()) {
+      case 0:
+        obj.set(name, std::get<std::int64_t>(value));
+        break;
+      case 1:
+        obj.set(name, std::get<double>(value));
+        break;
+      case 2:
+        obj.set(name, std::get<bool>(value));
+        break;
+      default:
+        obj.set(name, std::get<std::string>(value));
+        break;
+    }
+  }
+  return obj;
+}
+
+// --- ScenarioSpec -------------------------------------------------------
+
+ScenarioSpec::ScenarioSpec(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description)) {
+  if (name_.empty()) {
+    throw std::invalid_argument("ScenarioSpec: empty name");
+  }
+}
+
+ScenarioSpec& ScenarioSpec::add_param(ParamSpec p) {
+  if (p.name.empty()) {
+    throw std::invalid_argument("ScenarioSpec: empty parameter name");
+  }
+  if (find(p.name) != nullptr) {
+    throw std::invalid_argument("ScenarioSpec: duplicate parameter \"" +
+                                p.name + "\"");
+  }
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::add_int(std::string name, std::string description,
+                                    std::int64_t default_value,
+                                    std::optional<double> min_value,
+                                    std::optional<double> max_value) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.type = ParamType::kInt;
+  p.default_value = default_value;
+  p.min_value = min_value;
+  p.max_value = max_value;
+  return add_param(std::move(p));
+}
+
+ScenarioSpec& ScenarioSpec::add_double(std::string name,
+                                       std::string description,
+                                       double default_value,
+                                       std::optional<double> min_value,
+                                       std::optional<double> max_value) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.type = ParamType::kDouble;
+  p.default_value = default_value;
+  p.min_value = min_value;
+  p.max_value = max_value;
+  return add_param(std::move(p));
+}
+
+ScenarioSpec& ScenarioSpec::add_bool(std::string name, std::string description,
+                                     bool default_value) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.type = ParamType::kBool;
+  p.default_value = default_value;
+  return add_param(std::move(p));
+}
+
+ScenarioSpec& ScenarioSpec::add_string(std::string name,
+                                       std::string description,
+                                       std::string default_value,
+                                       std::vector<std::string> choices) {
+  ParamSpec p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.type = ParamType::kString;
+  p.default_value = std::move(default_value);
+  p.choices = std::move(choices);
+  return add_param(std::move(p));
+}
+
+const ParamSpec* ScenarioSpec::find(std::string_view param) const {
+  for (const auto& p : params_) {
+    if (p.name == param) return &p;
+  }
+  return nullptr;
+}
+
+ParamSet ScenarioSpec::defaults() const {
+  ParamSet out;
+  for (const auto& p : params_) out.set(p.name, p.default_value);
+  return out;
+}
+
+namespace {
+
+/// Range/choices check for one value already known to match p.type.
+std::optional<std::string> check_constraints(const ParamSpec& p,
+                                             const ParamValue& v) {
+  if (p.type == ParamType::kInt || p.type == ParamType::kDouble) {
+    const double x = p.type == ParamType::kInt
+                         ? static_cast<double>(std::get<std::int64_t>(v))
+                         : std::get<double>(v);
+    if (p.min_value && x < *p.min_value) {
+      return "parameter \"" + p.name + "\": " + ParamSet::value_to_string(v) +
+             " is below the minimum " + Table::fmt_exact(*p.min_value);
+    }
+    if (p.max_value && x > *p.max_value) {
+      return "parameter \"" + p.name + "\": " + ParamSet::value_to_string(v) +
+             " is above the maximum " + Table::fmt_exact(*p.max_value);
+    }
+  }
+  if (p.type == ParamType::kString && !p.choices.empty()) {
+    const auto& s = std::get<std::string>(v);
+    for (const auto& c : p.choices) {
+      if (c == s) return std::nullopt;
+    }
+    return "parameter \"" + p.name + "\": \"" + s + "\" is not one of " +
+           join_choices(p.choices);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> ScenarioSpec::parse_value(std::string_view param,
+                                                     std::string_view text,
+                                                     ParamValue* out) const {
+  const ParamSpec* p = find(param);
+  if (p == nullptr) {
+    return "unknown parameter \"" + std::string(param) + "\" for scenario \"" +
+           name_ + "\"";
+  }
+  ParamValue v;
+  switch (p->type) {
+    case ParamType::kInt: {
+      const auto parsed = parse::i64(text);
+      if (!parsed) {
+        return "parameter \"" + p->name + "\": \"" + std::string(text) +
+               "\" is not an integer";
+      }
+      v = *parsed;
+      break;
+    }
+    case ParamType::kDouble: {
+      const auto parsed = parse::real(text);
+      if (!parsed) {
+        return "parameter \"" + p->name + "\": \"" + std::string(text) +
+               "\" is not a finite number";
+      }
+      v = *parsed;
+      break;
+    }
+    case ParamType::kBool: {
+      const auto parsed = parse::boolean(text);
+      if (!parsed) {
+        return "parameter \"" + p->name + "\": \"" + std::string(text) +
+               "\" is not a boolean (true|false|1|0|yes|no|on|off)";
+      }
+      v = *parsed;
+      break;
+    }
+    case ParamType::kString:
+      v = std::string(parse::trim(text));
+      break;
+  }
+  if (auto err = check_constraints(*p, v)) return err;
+  if (out != nullptr) *out = std::move(v);
+  return std::nullopt;
+}
+
+std::optional<std::string> ScenarioSpec::apply_kv(std::string_view kv,
+                                                  ParamSet* params) const {
+  const auto eq = kv.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return "malformed assignment \"" + std::string(kv) +
+           "\" (expected key=value)";
+  }
+  const std::string_view key = parse::trim(kv.substr(0, eq));
+  const std::string_view text = kv.substr(eq + 1);
+  ParamValue v;
+  if (auto err = parse_value(key, text, &v)) return err;
+  params->set(std::string(key), std::move(v));
+  return std::nullopt;
+}
+
+std::optional<std::string> ScenarioSpec::validate(
+    const ParamSet& params) const {
+  for (const auto& [name, value] : params.items()) {
+    const ParamSpec* p = find(name);
+    if (p == nullptr) {
+      return "unknown parameter \"" + name + "\" for scenario \"" + name_ +
+             "\"";
+    }
+    if (param_type_of(value) != p->type) {
+      return "parameter \"" + name + "\": expected " +
+             param_type_name(p->type) + ", got " +
+             param_type_name(param_type_of(value));
+    }
+    if (auto err = check_constraints(*p, value)) return err;
+  }
+  for (const auto& p : params_) {
+    if (!params.contains(p.name)) {
+      return "missing parameter \"" + p.name + "\"";
+    }
+  }
+  return std::nullopt;
+}
+
+json::Value ScenarioSpec::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("name", name_);
+  doc.set("description", description_);
+  json::Value params = json::Value::array();
+  for (const auto& p : params_) {
+    json::Value pj = json::Value::object();
+    pj.set("name", p.name);
+    pj.set("type", param_type_name(p.type));
+    pj.set("description", p.description);
+    switch (p.type) {
+      case ParamType::kInt:
+        pj.set("default", std::get<std::int64_t>(p.default_value));
+        break;
+      case ParamType::kDouble:
+        pj.set("default", std::get<double>(p.default_value));
+        break;
+      case ParamType::kBool:
+        pj.set("default", std::get<bool>(p.default_value));
+        break;
+      case ParamType::kString:
+        pj.set("default", std::get<std::string>(p.default_value));
+        break;
+    }
+    if (p.min_value) pj.set("min", *p.min_value);
+    if (p.max_value) pj.set("max", *p.max_value);
+    if (!p.choices.empty()) {
+      json::Value cj = json::Value::array();
+      for (const auto& c : p.choices) cj.push_back(c);
+      pj.set("choices", std::move(cj));
+    }
+    params.push_back(std::move(pj));
+  }
+  doc.set("params", std::move(params));
+  return doc;
+}
+
+namespace {
+
+std::optional<std::string> reject_unknown_keys(
+    const json::Value& obj, std::initializer_list<std::string_view> known,
+    const char* where) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool ok = false;
+    for (const auto k : known) ok = ok || key == k;
+    if (!ok) {
+      return std::string("unknown key \"") + key + "\" in " + where;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> ScenarioSpec::from_json(const json::Value& doc,
+                                                    std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<ScenarioSpec> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("spec document is not an object");
+  if (auto err = reject_unknown_keys(doc, {"name", "description", "params"},
+                                     "spec")) {
+    return fail(*err);
+  }
+  const json::Value* name = doc.find("name");
+  const json::Value* desc = doc.find("description");
+  const json::Value* params = doc.find("params");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    return fail("spec requires a non-empty string \"name\"");
+  }
+  if (desc == nullptr || !desc->is_string()) {
+    return fail("spec requires a string \"description\"");
+  }
+  if (params == nullptr || !params->is_array()) {
+    return fail("spec requires an array \"params\"");
+  }
+  ScenarioSpec spec(name->as_string(), desc->as_string());
+  for (const auto& pj : params->as_array()) {
+    if (!pj.is_object()) return fail("param entry is not an object");
+    if (auto err = reject_unknown_keys(
+            pj, {"name", "type", "description", "default", "min", "max",
+                 "choices"},
+            "param entry")) {
+      return fail(*err);
+    }
+    const json::Value* pname = pj.find("name");
+    const json::Value* ptype = pj.find("type");
+    const json::Value* pdesc = pj.find("description");
+    const json::Value* pdef = pj.find("default");
+    if (pname == nullptr || !pname->is_string() || ptype == nullptr ||
+        !ptype->is_string() || pdef == nullptr) {
+      return fail("param entry requires name, type, and default");
+    }
+    const std::string& type = ptype->as_string();
+    const std::string description =
+        pdesc != nullptr && pdesc->is_string() ? pdesc->as_string() : "";
+    const json::Value* pmin = pj.find("min");
+    const json::Value* pmax = pj.find("max");
+    std::optional<double> min_value, max_value;
+    if (pmin != nullptr) {
+      if (!pmin->is_number()) return fail("param \"min\" must be numeric");
+      min_value = pmin->as_double();
+    }
+    if (pmax != nullptr) {
+      if (!pmax->is_number()) return fail("param \"max\" must be numeric");
+      max_value = pmax->as_double();
+    }
+    try {
+      if (type == "int") {
+        if (!pdef->is_int()) return fail("int param needs an integer default");
+        spec.add_int(pname->as_string(), description, pdef->as_int(),
+                     min_value, max_value);
+      } else if (type == "double") {
+        if (!pdef->is_number()) {
+          return fail("double param needs a numeric default");
+        }
+        spec.add_double(pname->as_string(), description, pdef->as_double(),
+                        min_value, max_value);
+      } else if (type == "bool") {
+        if (!pdef->is_bool()) return fail("bool param needs a bool default");
+        spec.add_bool(pname->as_string(), description, pdef->as_bool());
+      } else if (type == "string") {
+        if (!pdef->is_string()) {
+          return fail("string param needs a string default");
+        }
+        std::vector<std::string> choices;
+        if (const json::Value* cj = pj.find("choices")) {
+          if (!cj->is_array()) return fail("param \"choices\" must be array");
+          for (const auto& c : cj->as_array()) {
+            if (!c.is_string()) return fail("choices must be strings");
+            choices.push_back(c.as_string());
+          }
+        }
+        spec.add_string(pname->as_string(), description, pdef->as_string(),
+                        std::move(choices));
+      } else {
+        return fail("unknown param type \"" + type + "\"");
+      }
+    } catch (const std::invalid_argument& e) {
+      return fail(e.what());
+    }
+  }
+  return spec;
+}
+
+std::optional<ParamSet> ScenarioSpec::params_from_json(
+    const json::Value& doc, std::string* error) const {
+  const auto fail = [&](const std::string& msg) -> std::optional<ParamSet> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("params document is not an object");
+  ParamSet out = defaults();
+  for (const auto& [key, value] : doc.as_object()) {
+    const ParamSpec* p = find(key);
+    if (p == nullptr) {
+      return fail("unknown parameter \"" + key + "\" for scenario \"" +
+                  name_ + "\"");
+    }
+    ParamValue v;
+    switch (p->type) {
+      case ParamType::kInt:
+        if (!value.is_int()) {
+          return fail("parameter \"" + key + "\" must be an integer");
+        }
+        v = value.as_int();
+        break;
+      case ParamType::kDouble:
+        if (!value.is_number()) {
+          return fail("parameter \"" + key + "\" must be numeric");
+        }
+        v = value.as_double();
+        break;
+      case ParamType::kBool:
+        if (!value.is_bool()) {
+          return fail("parameter \"" + key + "\" must be a boolean");
+        }
+        v = value.as_bool();
+        break;
+      case ParamType::kString:
+        if (!value.is_string()) {
+          return fail("parameter \"" + key + "\" must be a string");
+        }
+        v = value.as_string();
+        break;
+    }
+    if (auto err = check_constraints(*p, v)) return fail(*err);
+    out.set(key, std::move(v));
+  }
+  return out;
+}
+
+}  // namespace leak::scenario

@@ -1,37 +1,68 @@
 // Environment-variable knobs shared by the simulators, the test
 // suites, and the bench binaries.  Every knob is read-on-demand (no
 // cached globals) so a test can set/unset variables between cases.
+//
+// Parsing is strict (src/support/parse.hpp): a malformed value —
+// trailing garbage ("LEAK_THREADS=4x"), overflow, an empty or
+// sign-prefixed string — is rejected with one clear stderr diagnostic
+// and the fallback is used, instead of strtoull-style silent
+// truncation handing the caller a number the user never wrote.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/support/parse.hpp"
 
 namespace leak::env {
 
-/// Integer knob; empty, unparsable, or negative values fall back
-/// (strtoull would otherwise silently wrap "-1" to 2^64 - 1).
-inline std::uint64_t u64_or(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  const char* p = raw;
-  while (*p == ' ' || *p == '\t') ++p;
-  if (*p == '-') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(p, &end, 10);
-  if (end == p) return fallback;
-  return static_cast<std::uint64_t>(v);
+/// Diagnose a malformed knob, once per distinct (name, value) pair —
+/// knobs are read on demand, so without the dedup a hot caller (e.g.
+/// resolve_threads per pool construction) would repeat the same line.
+inline void warn_invalid(const char* name, const char* raw,
+                         const char* expected) {
+  static std::mutex mu;
+  static std::set<std::string>& seen = *new std::set<std::string>();
+  {
+    std::scoped_lock lk(mu);
+    if (!seen.insert(std::string(name) + "=" + raw).second) return;
+  }
+  std::fprintf(stderr,
+               "leak: ignoring invalid %s=\"%s\" (expected %s); "
+               "using the default\n",
+               name, raw, expected);
 }
 
-/// Floating-point knob; empty or unparsable values fall back.
+/// Unsigned integer knob; unset falls back silently, a present but
+/// malformed value (garbage, overflow, empty, negative) warns on
+/// stderr (once per distinct value) and falls back.
+inline std::uint64_t u64_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const auto v = parse::u64(raw);
+  if (!v) {
+    warn_invalid(name, raw, "an unsigned integer");
+    return fallback;
+  }
+  return *v;
+}
+
+/// Floating-point knob; same contract as u64_or.
 inline double double_or(const char* name, double fallback) {
   const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  if (end == raw) return fallback;
-  return v;
+  if (raw == nullptr) return fallback;
+  const auto v = parse::real(raw);
+  if (!v) {
+    warn_invalid(name, raw, "a finite number");
+    return fallback;
+  }
+  return *v;
 }
 
 /// LEAK_TEST_PATH_SCALE: multiplier the slow Monte Carlo test suites

@@ -1,0 +1,133 @@
+// Minimal JSON document model with a strict parser and a deterministic
+// serializer.  This is the machine-readable half of the reporting
+// stack: scenario specs/results, the leakctl --json output, and the
+// bench emission helpers all go through it.
+//
+// Design points:
+//   - Objects preserve insertion order, so serialized output is stable
+//     across runs and diffs cleanly (the README scenario catalog and
+//     the CI artifacts rely on this).
+//   - Numbers are locale-independent both ways (std::to_chars /
+//     std::from_chars); doubles round-trip exactly via the shortest
+//     representation.
+//   - The parser is strict RFC 8259: no comments, no trailing commas,
+//     rejects trailing garbage, bounded nesting depth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace leak::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Insertion-ordered key/value storage; keys are unique.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  // Implicit construction from the scalar types keeps call sites
+  // (`result.set("seed", 99)`) readable.
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool) { bool_ = b; }
+  Value(int v) : type_(Type::kInt) { int_ = v; }
+  Value(std::int64_t v) : type_(Type::kInt) { int_ = v; }
+  Value(std::uint64_t v);
+  Value(double v) : type_(Type::kDouble) { double_ = v; }
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_double() const { return type_ == Type::kDouble; }
+  /// Either numeric type.
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Numeric accessor: returns kInt values widened to double.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // --- array interface -------------------------------------------------
+  /// Append to an array (throws on non-array).
+  void push_back(Value v);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Value& at(std::size_t i) const;
+
+  // --- object interface ------------------------------------------------
+  /// Insert-or-assign on an object (throws on non-object); keeps the
+  /// first-insertion position on overwrite.
+  Value& set(std::string key, Value v);
+  /// Lookup; nullptr when absent (throws on non-object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Serialize.  indent < 0: compact single line; indent >= 0: pretty
+  /// with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document.  On failure returns nullopt
+  /// and, when `error` is non-null, a message with the byte offset.
+  [[nodiscard]] static std::optional<Value> parse(std::string_view text,
+                                                  std::string* error = nullptr);
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  union {
+    bool bool_;
+    std::int64_t int_ = 0;  // keeps default-copied Values fully initialized
+    double double_;
+  };
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escape a string for embedding in a JSON document (adds no quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Shortest round-trip, locale-independent formatting of a double
+/// ("0.33", "1e-09", "4024").  Shared by the serializer, the CSV
+/// writer, and Table.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace leak::json

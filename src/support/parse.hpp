@@ -1,0 +1,76 @@
+// Strict, locale-independent string -> scalar parsing shared by the
+// env knobs, the scenario parameter engine, and the CLI.  Unlike the
+// strto* family these helpers consume the WHOLE input (after trimming
+// ASCII whitespace) or fail: "4x", "1e3garbage", "" and out-of-range
+// magnitudes all return nullopt instead of a silently truncated value.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace leak::parse {
+
+/// Trim ASCII spaces/tabs (the only whitespace env vars and CLI args
+/// legitimately carry) from both ends.
+[[nodiscard]] inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Unsigned integer; rejects empty input, sign characters, trailing
+/// garbage, and values above 2^64 - 1.
+[[nodiscard]] inline std::optional<std::uint64_t> u64(std::string_view raw) {
+  const std::string_view s = trim(raw);
+  if (s.empty() || s.front() == '+' || s.front() == '-') return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Signed integer; rejects empty input, trailing garbage, and overflow.
+[[nodiscard]] inline std::optional<std::int64_t> i64(std::string_view raw) {
+  const std::string_view s = trim(raw);
+  if (s.empty() || s.front() == '+') return std::nullopt;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Finite double; rejects empty input, trailing garbage, hex floats,
+/// inf/nan spellings, and magnitudes that overflow to infinity.  Always
+/// parses with the '.' decimal point regardless of the global locale.
+[[nodiscard]] inline std::optional<double> real(std::string_view raw) {
+  std::string_view s = trim(raw);
+  if (s.empty()) return std::nullopt;
+  if (s.front() == '+') return std::nullopt;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v,
+                                         std::chars_format::general);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  // from_chars(general) accepts "inf"/"nan"; a knob or parameter never
+  // legitimately holds either.
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Boolean; accepts the usual spellings, case-sensitive by design so a
+/// typo ("True") fails loudly instead of guessing.
+[[nodiscard]] inline std::optional<bool> boolean(std::string_view raw) {
+  const std::string_view s = trim(raw);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  return std::nullopt;
+}
+
+}  // namespace leak::parse

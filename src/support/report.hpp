@@ -1,0 +1,56 @@
+// Report-emission helpers shared by the bench binaries and the
+// scenario subsystem: section headers, table + CSV emission, and
+// JSON-to-file plumbing.  Extracted from bench/bench_common.hpp so the
+// ScenarioResult writer and the benches format artifacts identically.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/support/json.hpp"
+#include "src/support/table.hpp"
+
+namespace leak::reporting {
+
+/// "=== title ===" section header on stdout.
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Print a table and optionally dump it as CSV (LEAK_BENCH_CSV=1).
+inline void emit(const Table& table, const std::string& csv_name) {
+  std::printf("%s", table.to_string().c_str());
+  if (table.maybe_write_csv(csv_name)) {
+    std::printf("(wrote %s)\n", csv_name.c_str());
+  }
+}
+
+/// Write a JSON document to `path` ("-" = stdout).  Returns false when
+/// the file could not be opened.
+inline bool write_json(const json::Value& doc, const std::string& path,
+                       int indent = 2) {
+  const std::string text = doc.dump(indent);
+  if (path == "-") {
+    std::printf("%s\n", text.c_str());
+    return true;
+  }
+  std::ofstream f(path);
+  if (!f) return false;
+  f << text << "\n";
+  return f.good();
+}
+
+/// Write arbitrary text to `path` ("-" = stdout); same contract.
+inline bool write_text(const std::string& text, const std::string& path) {
+  if (path == "-") {
+    std::printf("%s", text.c_str());
+    return true;
+  }
+  std::ofstream f(path);
+  if (!f) return false;
+  f << text;
+  return f.good();
+}
+
+}  // namespace leak::reporting

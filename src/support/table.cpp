@@ -1,12 +1,31 @@
 #include "src/support/table.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace leak {
+
+namespace {
+
+/// Quote a CSV cell when RFC 4180 requires it.
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   if (headers_.empty()) throw std::invalid_argument("Table: no headers");
@@ -20,10 +39,21 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 std::string Table::fmt(double v, int precision) {
-  std::ostringstream os;
-  os.precision(precision);
-  os << std::fixed << v;
-  return os.str();
+  // std::to_chars is locale-independent; an ostringstream would honour
+  // whatever global locale the host application installed (e.g. a ','
+  // decimal point under de_DE), silently corrupting CSV artifacts.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::fixed, precision);
+  if (ec != std::errc{}) return "?";
+  return std::string(buf, ptr);
+}
+
+std::string Table::fmt_exact(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "?";
+  return std::string(buf, ptr);
 }
 
 std::string Table::to_string() const {
@@ -57,13 +87,101 @@ std::string Table::to_csv() const {
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ",";
-      os << row[c];
+      os << csv_escape(row[c]);
     }
     os << "\n";
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
   return os.str();
+}
+
+std::optional<Table> Table::from_csv(std::string_view csv,
+                                     std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<Table> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  std::size_t i = 0;
+
+  const auto end_cell = [&] {
+    record.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  const auto end_record = [&] {
+    end_cell();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  while (i < csv.size()) {
+    const char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          cell += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        cell += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty() || cell_was_quoted) {
+          return fail("quote inside unquoted cell");
+        }
+        in_quotes = true;
+        cell_was_quoted = true;
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < csv.size() && csv[i + 1] == '\n') ++i;
+        [[fallthrough]];
+      case '\n':
+        end_record();
+        ++i;
+        break;
+      default:
+        if (cell_was_quoted) {
+          return fail("characters after closing quote");
+        }
+        cell += c;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) return fail("unterminated quoted cell");
+  // A final record without a trailing newline still counts.
+  if (!cell.empty() || cell_was_quoted || !record.empty()) end_record();
+
+  if (records.empty()) return fail("empty CSV");
+  Table t(std::move(records.front()));
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != t.columns()) {
+      return fail("row " + std::to_string(r) + " has " +
+                  std::to_string(records[r].size()) + " cells, expected " +
+                  std::to_string(t.columns()));
+    }
+    t.add_row(std::move(records[r]));
+  }
+  return t;
 }
 
 bool Table::maybe_write_csv(const std::string& path) const {

@@ -1,0 +1,14 @@
+#include "src/support/version.hpp"
+
+// The definition is injected per-TU by src/CMakeLists.txt
+// (set_source_files_properties on this file only, so editing the git
+// state never rebuilds the whole library).
+#ifndef LEAK_GIT_DESCRIBE
+#define LEAK_GIT_DESCRIBE "unknown"
+#endif
+
+namespace leak {
+
+const char* git_describe() { return LEAK_GIT_DESCRIBE; }
+
+}  // namespace leak

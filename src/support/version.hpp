@@ -1,0 +1,11 @@
+// Build provenance stamped into scenario results so an archived JSON
+// artifact names the exact tree that produced it.
+#pragma once
+
+namespace leak {
+
+/// `git describe --always --dirty` of the tree at configure time, or
+/// "unknown" when the build happened outside a git checkout.
+[[nodiscard]] const char* git_describe();
+
+}  // namespace leak

@@ -3,6 +3,9 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <locale>
+#include <stdexcept>
+#include <string>
 
 #include "src/support/table.hpp"
 
@@ -66,6 +69,69 @@ TEST(TableTest, RowCount) {
   t.add_row({"1"});
   t.add_row({"2"});
   EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvQuotesSpecialCells) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  t.add_row({"line\nbreak", ""});
+  EXPECT_EQ(t.to_csv(),
+            "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n\"line\nbreak\",\n");
+}
+
+TEST(TableTest, CsvRoundTripWithQuotingAndEmptyCells) {
+  Table t({"k", "v", "comment"});
+  t.add_row({"plain", "", "has,comma"});
+  t.add_row({"quoted \"x\"", "multi\nline", "  spaced  "});
+  t.add_row({"", "", ""});
+  const auto back = Table::from_csv(t.to_csv());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->headers(), t.headers());
+  ASSERT_EQ(back->rows(), t.rows());
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_EQ(back->row(r), t.row(r)) << "row " << r;
+  }
+}
+
+TEST(TableTest, FromCsvHandlesCrlfAndMissingFinalNewline) {
+  const auto t = Table::from_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->rows(), 2u);
+  EXPECT_EQ(t->cell(1, 1), "4");
+}
+
+TEST(TableTest, FromCsvRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Table::from_csv("a,b\n1\n", &error).has_value());
+  EXPECT_NE(error.find("expected 2"), std::string::npos) << error;
+  EXPECT_FALSE(Table::from_csv("a\n\"unterminated\n", &error).has_value());
+  EXPECT_FALSE(Table::from_csv("a\nqu\"ote\n", &error).has_value());
+  EXPECT_FALSE(Table::from_csv("a\n\"quoted\"junk\n", &error).has_value());
+  EXPECT_FALSE(Table::from_csv("", &error).has_value());
+}
+
+TEST(TableTest, FmtIsLocaleIndependent) {
+  // A global locale with a ',' decimal point must not leak into
+  // formatted numbers (CSV artifacts would silently corrupt).
+  std::locale saved;
+  try {
+    std::locale::global(std::locale("de_DE.UTF-8"));
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const std::string fixed = Table::fmt(3.14159, 2);
+  const std::string exact = Table::fmt_exact(0.33);
+  std::locale::global(saved);
+  EXPECT_EQ(fixed, "3.14");
+  EXPECT_EQ(exact, "0.33");
+}
+
+TEST(TableTest, FmtExactRoundTrips) {
+  for (const double v : {1.0 / 3.0, 0.1, 26.699, -0.0, 1e-17}) {
+    const std::string s = Table::fmt_exact(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  EXPECT_EQ(Table::fmt_exact(4024.0), "4024");
 }
 
 }  // namespace

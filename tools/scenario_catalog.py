@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Render the README "Scenario catalog" table from `leakctl list --json`.
+
+Usage:
+    ./build/examples/leakctl list --json | python3 tools/scenario_catalog.py
+
+Reads the scenario-spec array on stdin and writes the markdown table on
+stdout.  tools/update_scenario_catalog.sh splices the output into
+README.md between the scenario-catalog markers; CI regenerates it and
+fails when the committed table is stale.
+"""
+import json
+import sys
+
+
+def default_to_str(param):
+    value = param["default"]
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        # repr() gives the shortest round-trip form, matching the C++
+        # to_chars output for the values used in the specs.
+        return repr(value)
+    if value == "":
+        return '""'
+    return str(value)
+
+
+def main():
+    specs = json.load(sys.stdin)
+    lines = [
+        "| scenario | description | parameters (defaults) |",
+        "|---|---|---|",
+    ]
+    for spec in specs:
+        params = ", ".join(
+            "`{}={}`".format(p["name"], default_to_str(p))
+            for p in spec["params"]
+        )
+        lines.append(
+            "| `{}` | {} | {} |".format(
+                spec["name"], spec["description"], params
+            )
+        )
+    sys.stdout.write("\n".join(lines) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerate the README "Scenario catalog" section from the leakctl
+# registry (the committed table must always match the code; CI checks
+# it with --check).
+#
+# Usage: tools/update_scenario_catalog.sh [--check] [-b BUILD_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+CHECK=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --check) CHECK=1; shift ;;
+    -b) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [--check] [-b BUILD_DIR]" >&2; exit 2 ;;
+  esac
+done
+
+LEAKCTL="${BUILD_DIR}/examples/leakctl"
+if [[ ! -x "${LEAKCTL}" ]]; then
+  echo "error: ${LEAKCTL} not found - build it first:" >&2
+  echo "  cmake -B \"${BUILD_DIR}\" -S \"${REPO_ROOT}\" && cmake --build \"${BUILD_DIR}\" --target leakctl -j" >&2
+  exit 1
+fi
+
+README="${REPO_ROOT}/README.md"
+BEGIN='<!-- scenario-catalog:begin -->'
+END='<!-- scenario-catalog:end -->'
+
+TABLE="$("${LEAKCTL}" list --json | python3 "${REPO_ROOT}/tools/scenario_catalog.py")"
+
+python3 - "${README}" "${BEGIN}" "${END}" "${CHECK}" <<'EOF' "${TABLE}"
+import sys
+
+readme_path, begin, end, check = sys.argv[1:5]
+table = sys.argv[5]
+
+text = open(readme_path).read()
+try:
+    head, rest = text.split(begin, 1)
+    _, tail = rest.split(end, 1)
+except ValueError:
+    sys.exit(f"error: {readme_path} lacks the scenario-catalog markers")
+
+updated = head + begin + "\n" + table + end + tail
+if check == "1":
+    if updated != text:
+        sys.exit(
+            "error: README scenario catalog is stale - run "
+            "tools/update_scenario_catalog.sh and commit the result"
+        )
+    print("scenario catalog is current")
+else:
+    open(readme_path, "w").write(updated)
+    print(f"updated {readme_path}")
+EOF
