@@ -124,6 +124,26 @@ void BM_Fig10MonteCarloThreads(benchmark::State& state) {
 BENCHMARK(BM_Fig10MonteCarloThreads)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Block-size sweep of the same cross-check (batched kernel, summary
+// mode, single thread); Arg is the block size, results bit-identical
+// across all of them.
+void BM_MonteCarloBlockSize(benchmark::State& state) {
+  bouncing::McConfig mc;
+  mc.beta0 = 0.33;
+  mc.paths = 3000;
+  mc.epochs = 3000;
+  mc.threads = 1;
+  mc.block = static_cast<std::size_t>(state.range(0));
+  mc.keep_paths = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bouncing::run_bouncing_mc(mc, {3000}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mc.paths) * 3000);
+}
+BENCHMARK(BM_MonteCarloBlockSize)->Arg(1)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 LEAK_BENCH_MAIN(report)

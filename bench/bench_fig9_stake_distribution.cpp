@@ -107,6 +107,65 @@ void BM_MonteCarloPaths(benchmark::State& state) {
 BENCHMARK(BM_MonteCarloPaths)->Arg(500)->Arg(2000)
     ->Unit(benchmark::kMillisecond);
 
+// Scalar reference kernel on the 10k-path Figure 9 run, single thread:
+// the baseline the batched kernel must beat (the CI bench-smoke job
+// compares BM_MonteCarloBlockSize against this, tools/
+// check_bench_speedup.py).  items = path-epochs; paths/sec is
+// items_per_second / 2000.
+void BM_MonteCarloScalarRef(benchmark::State& state) {
+  bouncing::McConfig mc;
+  mc.paths = 10000;
+  mc.epochs = 2000;
+  mc.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bouncing::run_bouncing_mc_scalar(mc, {2000}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mc.paths) * 2000);
+}
+BENCHMARK(BM_MonteCarloScalarRef)->Unit(benchmark::kMillisecond);
+
+// Block-size sweep of the batched kernel on the same 10k-path run,
+// single thread, full (matrix-materializing) mode — apples-to-apples
+// with the scalar reference.  Arg is the block size; results are
+// bit-identical across all of them (tests/test_montecarlo_batch.cpp).
+void BM_MonteCarloBlockSize(benchmark::State& state) {
+  bouncing::McConfig mc;
+  mc.paths = 10000;
+  mc.epochs = 2000;
+  mc.threads = 1;
+  mc.block = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bouncing::run_bouncing_mc(mc, {2000}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mc.paths) * 2000);
+  state.counters["block"] =
+      static_cast<double>(runner::resolve_block(mc.block));
+}
+BENCHMARK(BM_MonteCarloBlockSize)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Same sweep in summary mode: the per-path matrix is never
+// materialized (memory O(snapshots x block)), the streaming summaries
+// are bit-identical to full mode.
+void BM_MonteCarloSummaryMode(benchmark::State& state) {
+  bouncing::McConfig mc;
+  mc.paths = 10000;
+  mc.epochs = 2000;
+  mc.threads = 1;
+  mc.block = static_cast<std::size_t>(state.range(0));
+  mc.keep_paths = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bouncing::run_bouncing_mc(mc, {2000}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mc.paths) * 2000);
+}
+BENCHMARK(BM_MonteCarloSummaryMode)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 // Thread-scaling sweep of the Figure 9 10k-path run: Arg is the
 // thread count (0 = auto), results identical across all of them.
 void BM_MonteCarloPathsThreads(benchmark::State& state) {

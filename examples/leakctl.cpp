@@ -4,17 +4,24 @@
 //
 //   leakctl list [--json|--names]
 //   leakctl describe <scenario> [--json]
-//   leakctl run <scenario> [--set k=v]... [--paths N] [--seed N]
-//               [--threads N] [--json PATH] [--csv PATH] [--quiet]
+//   leakctl run <scenario> [--params FILE] [--set k=v]... [--paths N]
+//               [--seed N] [--threads N] [--block N] [--json PATH]
+//               [--csv PATH] [--quiet]
 //   leakctl sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step]
 //               [--set k=v]... [--vary-seed] [--parallel-cells]
 //               [--json PATH] [--csv PATH] [--quiet]
 //
 // PATH "-" writes to stdout.  `leakctl list --json` feeds
 // tools/scenario_catalog.py, which generates the README "Scenario
-// catalog" section (checked fresh in CI).
+// catalog" section (checked fresh in CI).  `--params FILE` replays an
+// archived experiment: FILE is either a bare params JSON object or a
+// full ScenarioResult report (its "params" member is used), as
+// written by `--json`; later --set/--paths/... override on top.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,9 +47,13 @@ int usage(const char* argv0) {
       "  --paths N        shorthand for --set paths=N\n"
       "  --seed N         shorthand for --set seed=N\n"
       "  --threads N      shorthand for --set threads=N\n"
+      "  --block N        shorthand for --set block=N\n"
       "  --json PATH      write the JSON report to PATH (\"-\" = stdout)\n"
       "  --csv PATH       write the CSV (trial rows / sweep cells) to PATH\n"
       "  --quiet          suppress the human-readable report\n"
+      "run-only options:\n"
+      "  --params FILE    replay archived parameters (a params JSON\n"
+      "                   object or a full --json report; --set wins)\n"
       "sweep-only options:\n"
       "  --vary-seed      per-cell seeds from (seed, cell index)\n"
       "  --parallel-cells fan cells across the thread pool\n",
@@ -117,8 +128,9 @@ int cmd_describe(const scenario::Scenario& sc,
 struct CliOptions {
   std::vector<std::string> sets;
   std::vector<std::string> sweeps;
-  std::string json_path;  // empty = no JSON output
-  std::string csv_path;   // empty = no CSV output
+  std::string params_path;  // empty = no archived-params replay
+  std::string json_path;    // empty = no JSON output
+  std::string csv_path;     // empty = no CSV output
   bool quiet = false;
   bool vary_seed = false;
   bool parallel_cells = false;
@@ -140,10 +152,15 @@ bool parse_options(const std::vector<std::string>& args, bool allow_sweep,
       const auto* v = need_value("--set");
       if (v == nullptr) return false;
       out->sets.push_back(*v);
-    } else if (a == "--paths" || a == "--seed" || a == "--threads") {
+    } else if (a == "--paths" || a == "--seed" || a == "--threads" ||
+               a == "--block") {
       const auto* v = need_value(a.c_str());
       if (v == nullptr) return false;
       out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--params" && !allow_sweep) {
+      const auto* v = need_value("--params");
+      if (v == nullptr) return false;
+      out->params_path = *v;
     } else if (a == "--sweep" && allow_sweep) {
       const auto* v = need_value("--sweep");
       if (v == nullptr) return false;
@@ -191,6 +208,47 @@ int emit_artifacts(const json::Value& doc, const std::string& csv,
   return 0;
 }
 
+/// Load the --params replay file into a ParamSet validated against the
+/// scenario's spec.  Accepts either a bare params JSON object or a
+/// full ScenarioResult report, whose "params" member is then used.
+std::optional<scenario::ParamSet> load_params_file(
+    const scenario::Scenario& sc, const std::string& path,
+    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = json::Value::parse(buf.str());
+  if (!doc) {
+    *error = path + ": not valid JSON";
+    return std::nullopt;
+  }
+  const json::Value* params = &*doc;
+  if (doc->is_object() && doc->find("params") != nullptr &&
+      doc->find("params")->is_object()) {
+    // A full report: replay the scenario it recorded (guard against
+    // replaying another scenario's archive under the wrong name).
+    const json::Value* name = doc->find("scenario");
+    if (name != nullptr && name->is_string() &&
+        name->as_string() != sc.spec().name()) {
+      *error = path + ": archived scenario \"" + name->as_string() +
+               "\" does not match \"" + sc.spec().name() + "\"";
+      return std::nullopt;
+    }
+    params = doc->find("params");
+  }
+  std::string parse_error;
+  auto set = sc.spec().params_from_json(*params, &parse_error);
+  if (!set) {
+    *error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  return set;
+}
+
 int cmd_run(const scenario::Scenario& sc,
             const std::vector<std::string>& args) {
   CliOptions opts;
@@ -199,6 +257,11 @@ int cmd_run(const scenario::Scenario& sc,
     return fail(error);
   }
   scenario::ParamSet params = sc.spec().defaults();
+  if (!opts.params_path.empty()) {
+    auto replayed = load_params_file(sc, opts.params_path, &error);
+    if (!replayed) return fail(error);
+    params = std::move(*replayed);
+  }
   for (const auto& kv : opts.sets) {
     if (auto err = sc.spec().apply_kv(kv, &params)) return fail(*err);
   }

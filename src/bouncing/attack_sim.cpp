@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/runner/thread_pool.hpp"
 #include "src/runner/trial_runner.hpp"
 #include "src/support/random.hpp"
 #include "src/support/stats.hpp"
@@ -27,7 +28,7 @@ RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
   // are semi-active on A (active every other epoch).
   std::vector<double> stake(n, cfg.model.initial_stake);
   std::vector<double> score(n, 0.0);
-  std::vector<bool> ejected(n, false);
+  std::vector<std::uint8_t> ejected(n, 0);
   double byz_stake = cfg.model.initial_stake;
   double byz_score = 0.0;
   bool byz_ejected = false;
@@ -56,7 +57,7 @@ RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
 
     // One epoch of Figure 8 dynamics.
     for (std::size_t i = 0; i < n; ++i) {
-      if (ejected[i]) continue;
+      if (ejected[i] != 0) continue;
       stake[i] -= score[i] * stake[i] / cfg.model.quotient;
       const bool active = rng.bernoulli(cfg.p0);
       if (active) {
@@ -65,7 +66,7 @@ RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
         score[i] += cfg.model.score_bias;
       }
       if (stake[i] <= cfg.model.ejection_threshold) {
-        ejected[i] = true;
+        ejected[i] = 1;
         stake[i] = 0.0;
       }
     }
@@ -91,21 +92,30 @@ AttackSimResult run_attack_sim(const AttackSimConfig& cfg) {
   if (cfg.runs == 0 || cfg.honest_validators == 0) {
     throw std::invalid_argument("run_attack_sim: empty configuration");
   }
-  // Fan the independent runs across the pool; run i always draws from
-  // the (seed, i) stream, then outcomes merge in run order.
+  // Block-scheduled fan-out straight into the result's preallocated
+  // slabs; run i always draws from the (seed, i) stream and writes at
+  // its own index, so there is no merge step and the result is
+  // bit-identical for every (block, threads) combination.
   const StreamSeeder seeder(cfg.seed);
   const runner::TrialRunner pool(cfg.threads);
-  const auto outcomes = pool.run(cfg.runs, [&](std::size_t run) {
-    return simulate_attack_run(cfg, seeder.stream(run));
-  });
-
   AttackSimResult res;
-  res.durations.reserve(cfg.runs);
+  res.durations.assign(cfg.runs, 0);
+  std::vector<std::int64_t> break_epochs(cfg.runs, -1);
+  pool.run_blocks(cfg.runs, runner::resolve_block(cfg.block),
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t run = begin; run < end; ++run) {
+                      const auto out =
+                          simulate_attack_run(cfg, seeder.stream(run));
+                      res.durations[run] = out.duration;
+                      break_epochs[run] = out.break_epoch;
+                    }
+                  });
+
+  // Compact the successful runs in run order.
   std::size_t broken = 0;
-  for (const auto& out : outcomes) {
-    res.durations.push_back(out.duration);
-    if (out.break_epoch >= 0) {
-      res.break_epochs.push_back(static_cast<std::uint64_t>(out.break_epoch));
+  for (const std::int64_t epoch : break_epochs) {
+    if (epoch >= 0) {
+      res.break_epochs.push_back(static_cast<std::uint64_t>(epoch));
       ++broken;
     }
   }

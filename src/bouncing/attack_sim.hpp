@@ -28,6 +28,9 @@ struct AttackSimConfig {
   /// Worker threads for the run fan-out; 0 = LEAK_THREADS env or
   /// hardware_concurrency.  Bit-identical results for any value.
   unsigned threads = 0;
+  /// Runs per scheduled block; 0 = LEAK_BLOCK env or the tuned
+  /// default.  Bit-identical results for any value.
+  std::size_t block = 0;
   analytic::AnalyticConfig model = analytic::AnalyticConfig::paper();
   /// When true the per-epoch continuation probability uses the current
   /// stake-weighted beta; when false the constant beta0 (paper bound).

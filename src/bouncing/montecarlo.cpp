@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "src/analytic/stake_model.hpp"
+#include "src/bouncing/montecarlo_batch.hpp"
+#include "src/runner/thread_pool.hpp"
 #include "src/runner/trial_runner.hpp"
 
 namespace leak::bouncing {
@@ -47,10 +49,8 @@ std::vector<double> simulate_path(const McConfig& cfg,
   return at_snap;
 }
 
-}  // namespace
-
-McResult run_bouncing_mc(const McConfig& cfg,
-                         const std::vector<std::size_t>& snapshot_epochs) {
+void validate_grid(const McConfig& cfg,
+                   const std::vector<std::size_t>& snapshot_epochs) {
   // The grid must be strictly increasing: a path records one value per
   // matched epoch, so duplicates would leave the merge reading past it.
   if (snapshot_epochs.empty() ||
@@ -60,49 +60,177 @@ McResult run_bouncing_mc(const McConfig& cfg,
       snapshot_epochs.back() > cfg.epochs) {
     throw std::invalid_argument("run_bouncing_mc: bad snapshot grid");
   }
+}
+
+/// Streaming per-snapshot reduction shared by the scalar and batched
+/// drivers.  Each snapshot's accumulators must be fed its paths in
+/// ascending path order (the accumulators are order-sensitive in
+/// floating point); snapshots are independent of each other.
+class SnapshotAccumulators {
+ public:
+  SnapshotAccumulators(const McConfig& cfg,
+                       const std::vector<std::size_t>& snaps)
+      : initial_stake_(cfg.model.initial_stake),
+        ejected_(snaps.size(), 0),
+        capped_(snaps.size(), 0),
+        exceeds_(snaps.size(), 0),
+        stats_(snaps.size()),
+        median_alive_(snaps.size(), P2Quantile(0.5)) {
+    // Byzantine (semi-active) reference stake at each snapshot epoch
+    // for the Eq 23 exceedance criterion.
+    threshold_.resize(snaps.size());
+    const double factor = 2.0 * cfg.beta0 / (1.0 - cfg.beta0);
+    for (std::size_t k = 0; k < snaps.size(); ++k) {
+      threshold_[k] =
+          factor * analytic::stake(analytic::Behavior::kSemiActive,
+                                   static_cast<double>(snaps[k]), cfg.model);
+    }
+  }
+
+  /// Fold one path's stake at snapshot k (ejection <=> stake flushed
+  /// to exactly 0: live stake always stays above the threshold).
+  void add(std::size_t k, double stake) {
+    if (stake == 0.0) {
+      ++ejected_[k];
+    } else {
+      median_alive_[k].add(stake);
+    }
+    if (stake >= initial_stake_) ++capped_[k];
+    if (stake < threshold_[k]) ++exceeds_[k];
+    stats_[k].add(stake);
+  }
+
+  /// Freeze the counts into fractions and move the summaries out.
+  void finalize(std::size_t n_paths, McResult* res) {
+    const auto snapshots = stats_.size();
+    const double n = static_cast<double>(n_paths);
+    res->ejected_fraction.resize(snapshots);
+    res->capped_fraction.resize(snapshots);
+    res->prob_beta_exceeds.resize(snapshots);
+    res->median_alive_estimate.resize(snapshots);
+    for (std::size_t k = 0; k < snapshots; ++k) {
+      res->ejected_fraction[k] = static_cast<double>(ejected_[k]) / n;
+      res->capped_fraction[k] = static_cast<double>(capped_[k]) / n;
+      res->prob_beta_exceeds[k] = static_cast<double>(exceeds_[k]) / n;
+      res->median_alive_estimate[k] = median_alive_[k].estimate();
+    }
+    res->stake_stats = std::move(stats_);
+  }
+
+ private:
+  double initial_stake_;
+  std::vector<double> threshold_;
+  std::vector<std::size_t> ejected_;
+  std::vector<std::size_t> capped_;
+  std::vector<std::size_t> exceeds_;
+  std::vector<RunningStats> stats_;
+  std::vector<P2Quantile> median_alive_;
+};
+
+}  // namespace
+
+McResult run_bouncing_mc(const McConfig& cfg,
+                         const std::vector<std::size_t>& snapshot_epochs) {
+  validate_grid(cfg, snapshot_epochs);
+  McResult res;
+  res.epochs = snapshot_epochs;
+  const std::size_t snapshots = snapshot_epochs.size();
+  SnapshotAccumulators acc(cfg, snapshot_epochs);
+
+  const std::size_t block = runner::resolve_block(cfg.block);
+  const StreamSeeder seeder(cfg.seed);
+  const runner::TrialRunner pool(cfg.threads);
+
+  if (cfg.keep_paths) {
+    // Full mode: blocks write disjoint column ranges of the
+    // preallocated matrix — no merge step, no per-path allocation —
+    // and the summaries stream over the finished rows in path order.
+    res.stakes.assign(snapshots, std::vector<double>(cfg.paths));
+    std::vector<double*> rows(snapshots);
+    for (std::size_t k = 0; k < snapshots; ++k) {
+      rows[k] = res.stakes[k].data();
+    }
+    pool.run_blocks(cfg.paths, block,
+                    [&](std::size_t begin, std::size_t end) {
+                      // One scratch per worker thread, reused across
+                      // the blocks it claims (reset() re-seeds without
+                      // reallocating).
+                      static thread_local BatchPaths scratch;
+                      simulate_stake_block(cfg, snapshot_epochs, seeder,
+                                           begin, end - begin, scratch,
+                                           rows.data(), begin);
+                    });
+    for (std::size_t k = 0; k < snapshots; ++k) {
+      for (std::size_t p = 0; p < cfg.paths; ++p) {
+        acc.add(k, res.stakes[k][p]);
+      }
+    }
+  } else {
+    // Summary mode: each block fills a transient snapshots x block
+    // slab, folded into the accumulators in ascending block order, so
+    // peak memory is O(threads x block x snapshots) and every
+    // accumulator still sees paths in index order.
+    struct BlockSlab {
+      std::size_t n_paths = 0;
+      std::vector<double> data;  ///< row-major [snapshot][path in block]
+    };
+    pool.run_blocks(
+        cfg.paths, block,
+        [&](std::size_t begin, std::size_t end) {
+          BlockSlab slab;
+          slab.n_paths = end - begin;
+          slab.data.resize(snapshots * slab.n_paths);
+          std::vector<double*> rows(snapshots);
+          for (std::size_t k = 0; k < snapshots; ++k) {
+            rows[k] = slab.data.data() + k * slab.n_paths;
+          }
+          static thread_local BatchPaths scratch;
+          simulate_stake_block(cfg, snapshot_epochs, seeder, begin,
+                               slab.n_paths, scratch, rows.data(), 0);
+          return slab;
+        },
+        [&](std::size_t, std::size_t, BlockSlab slab) {
+          for (std::size_t k = 0; k < snapshots; ++k) {
+            const double* row = slab.data.data() + k * slab.n_paths;
+            for (std::size_t i = 0; i < slab.n_paths; ++i) {
+              acc.add(k, row[i]);
+            }
+          }
+        });
+  }
+  acc.finalize(cfg.paths, &res);
+  return res;
+}
+
+McResult run_bouncing_mc_scalar(
+    const McConfig& cfg, const std::vector<std::size_t>& snapshot_epochs) {
+  validate_grid(cfg, snapshot_epochs);
   McResult res;
   res.epochs = snapshot_epochs;
   res.stakes.assign(snapshot_epochs.size(), {});
   for (auto& v : res.stakes) v.reserve(cfg.paths);
-  res.ejected_fraction.assign(snapshot_epochs.size(), 0.0);
-  res.capped_fraction.assign(snapshot_epochs.size(), 0.0);
-  res.prob_beta_exceeds.assign(snapshot_epochs.size(), 0.0);
-
-  // Byzantine (semi-active) reference stake at each snapshot epoch.
-  std::vector<double> sb(snapshot_epochs.size());
-  for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
-    sb[k] = analytic::stake(analytic::Behavior::kSemiActive,
-                            static_cast<double>(snapshot_epochs[k]),
-                            cfg.model);
-  }
-  const double factor = 2.0 * cfg.beta0 / (1.0 - cfg.beta0);
 
   // Fan the paths across the pool; each draws from its own counter
   // stream, so the result is independent of the thread count.
   const StreamSeeder seeder(cfg.seed);
   const runner::TrialRunner pool(cfg.threads);
-  const auto per_path =
-      pool.run(cfg.paths, [&](std::size_t path) {
-        return simulate_path(cfg, snapshot_epochs, seeder.stream(path));
-      });
+  const auto per_path = pool.run(cfg.paths, [&](std::size_t path) {
+    return simulate_path(cfg, snapshot_epochs, seeder.stream(path));
+  });
 
-  // Merge in path order (ejection <=> stake flushed to exactly 0:
-  // live stake always stays above the ejection threshold).
+  // Merge in path order.
   for (const auto& at_snap : per_path) {
     for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
-      const double stake = at_snap[k];
-      res.stakes[k].push_back(stake);
-      if (stake == 0.0) res.ejected_fraction[k] += 1.0;
-      if (stake >= cfg.model.initial_stake) res.capped_fraction[k] += 1.0;
-      if (stake < factor * sb[k]) res.prob_beta_exceeds[k] += 1.0;
+      res.stakes[k].push_back(at_snap[k]);
     }
   }
-  const double n = static_cast<double>(cfg.paths);
+  SnapshotAccumulators acc(cfg, snapshot_epochs);
   for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
-    res.ejected_fraction[k] /= n;
-    res.capped_fraction[k] /= n;
-    res.prob_beta_exceeds[k] /= n;
+    for (std::size_t p = 0; p < cfg.paths; ++p) {
+      acc.add(k, res.stakes[k][p]);
+    }
   }
+  acc.finalize(cfg.paths, &res);
   return res;
 }
 
@@ -112,7 +240,9 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
   const std::uint32_t n = cfg.honest_validators;
   std::vector<double> stake(n, cfg.model.initial_stake);
   std::vector<double> score(n, 0.0);
-  std::vector<bool> ejected(n, false);
+  // uint8_t, not vector<bool>: SoA-consistent flat bytes (and immune
+  // to the packed-word aliasing the runner's static_assert guards).
+  std::vector<std::uint8_t> ejected(n, 0);
 
   // Byzantine stake per validator-equivalent; they are semi-active on
   // branch A (tracked branch), with their own floored discrete dynamics.
@@ -123,7 +253,7 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
   for (std::size_t t = 1; t <= cfg.epochs; ++t) {
     // Honest validators: iid branch assignment (Figure 8).
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (ejected[i]) continue;
+      if (ejected[i] != 0) continue;
       stake[i] -= score[i] * stake[i] / cfg.model.quotient;
       const bool active = rng.bernoulli(cfg.p0);
       if (active) {
@@ -132,7 +262,7 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
         score[i] += cfg.model.score_bias;
       }
       if (stake[i] <= cfg.model.ejection_threshold) {
-        ejected[i] = true;
+        ejected[i] = 1;
         stake[i] = 0.0;
       }
     }
@@ -172,20 +302,32 @@ PopulationEnsembleResult run_population_ensemble(
   }
   const StreamSeeder seeder(cfg.base.seed);
   const runner::TrialRunner pool(cfg.threads);
-  const auto runs = pool.run(cfg.paths, [&](std::size_t path) {
-    PopulationRunConfig per_path = cfg.base;
-    per_path.seed = seeder.seed_for(path);
-    return run_population_bouncing(per_path);
-  });
 
+  // Block-scheduled fan-out into preallocated outcome slabs: only the
+  // two scalars the ensemble aggregates survive a path, never its
+  // full trajectory.
   PopulationEnsembleResult res;
-  res.first_exceed_epochs.reserve(cfg.paths);
+  res.first_exceed_epochs.assign(cfg.paths, -1);
+  std::vector<double> final_beta(cfg.paths, 0.0);
+  pool.run_blocks(cfg.paths, runner::resolve_block(cfg.block),
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t path = begin; path < end; ++path) {
+                      PopulationRunConfig per_path = cfg.base;
+                      per_path.seed = seeder.seed_for(path);
+                      const auto r = run_population_bouncing(per_path);
+                      res.first_exceed_epochs[path] = r.first_exceed_epoch;
+                      if (!r.beta_trajectory.empty()) {
+                        final_beta[path] = r.beta_trajectory.back();
+                      }
+                    }
+                  });
+
+  // Aggregate in path order.
   std::size_t exceeded = 0;
   double beta_sum = 0.0;
-  for (const auto& r : runs) {
-    res.first_exceed_epochs.push_back(r.first_exceed_epoch);
-    if (r.first_exceed_epoch >= 0) ++exceeded;
-    if (!r.beta_trajectory.empty()) beta_sum += r.beta_trajectory.back();
+  for (std::size_t path = 0; path < cfg.paths; ++path) {
+    if (res.first_exceed_epochs[path] >= 0) ++exceeded;
+    beta_sum += final_beta[path];
   }
   res.exceed_fraction =
       static_cast<double>(exceeded) / static_cast<double>(cfg.paths);

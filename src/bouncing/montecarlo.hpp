@@ -10,6 +10,7 @@
 
 #include "src/analytic/config.hpp"
 #include "src/support/random.hpp"
+#include "src/support/stats.hpp"
 
 namespace leak::bouncing {
 
@@ -24,6 +25,17 @@ struct McConfig {
   /// path i always draws from the (seed, i) stream and paths merge in
   /// index order.
   unsigned threads = 0;
+  /// Paths simulated per lockstep block by the batched SoA kernel
+  /// (src/bouncing/montecarlo_batch.hpp); 0 = LEAK_BLOCK env or the
+  /// tuned default.  Results are bit-identical for any value,
+  /// including block = 1 and block = paths.
+  std::size_t block = 0;
+  /// When false, the full per-path stake matrix is never materialized:
+  /// McResult::stakes stays empty and only the streaming per-snapshot
+  /// summaries are filled, so memory is O(snapshots x block) transient
+  /// instead of O(snapshots x paths).  The summaries themselves are
+  /// bit-identical between the two modes.
+  bool keep_paths = true;
   analytic::AnalyticConfig model = analytic::AnalyticConfig::paper();
 };
 
@@ -32,6 +44,7 @@ struct McResult {
   /// Epoch grid at which snapshots were taken.
   std::vector<std::size_t> epochs;
   /// stakes[k][i] = stake of path i at epochs[k] (0 when ejected).
+  /// Empty when cfg.keep_paths == false (summary mode).
   std::vector<std::vector<double>> stakes;
   /// Fraction of paths ejected by epochs[k].
   std::vector<double> ejected_fraction;
@@ -40,12 +53,27 @@ struct McResult {
   /// Empirical P[beta(t) > 1/3] at epochs[k] (Eq 23 criterion against
   /// the semi-active Byzantine stake, one branch).
   std::vector<double> prob_beta_exceeds;
+  /// Streaming per-snapshot summaries, filled in both modes (fed in
+  /// path order, so bit-identical for any block/threads/mode):
+  /// moments of the full censored sample at epochs[k]...
+  std::vector<RunningStats> stake_stats;
+  /// ...and the P-squared estimate of the median of the *alive*
+  /// (stake > 0) paths at epochs[k] (0 when every path is ejected).
+  /// In full mode the exact sample median is available from `stakes`.
+  std::vector<double> median_alive_estimate;
 };
 
-/// Run the Monte Carlo; `snapshot_epochs` must be ascending and within
-/// [1, cfg.epochs].
+/// Run the Monte Carlo through the batched lockstep kernel;
+/// `snapshot_epochs` must be ascending and within [1, cfg.epochs].
 McResult run_bouncing_mc(const McConfig& cfg,
                          const std::vector<std::size_t>& snapshot_epochs);
+
+/// Reference scalar kernel: one path at a time, exactly the paper's
+/// per-validator recurrence.  Always materializes the full matrix
+/// (cfg.block / cfg.keep_paths are ignored).  Kept as the ground truth
+/// the batched kernel is tested bit-identical against.
+McResult run_bouncing_mc_scalar(
+    const McConfig& cfg, const std::vector<std::size_t>& snapshot_epochs);
 
 /// Finite-population run: N honest validators per path, branch-level
 /// Byzantine proportion measured per epoch on branch A.  Returns the
@@ -71,11 +99,13 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg);
 
 /// Ensemble of independent finite-population runs ("population
 /// paths"): path i re-runs run_population_bouncing with the seed of
-/// stream (cfg.base.seed, i), fanned across the trial runner.
+/// stream (cfg.base.seed, i), block-scheduled across the trial runner
+/// into preallocated outcome slabs.
 struct PopulationEnsembleConfig {
   PopulationRunConfig base;   ///< base.seed is the ensemble master seed
   std::size_t paths = 100;
   unsigned threads = 0;       ///< 0 = LEAK_THREADS / hardware_concurrency
+  std::size_t block = 0;      ///< paths per block; 0 = LEAK_BLOCK / default
 };
 
 struct PopulationEnsembleResult {

@@ -1,0 +1,151 @@
+// Compiled with vectorization-friendly flags (see src/CMakeLists.txt):
+// -fno-trapping-math so the selects below if-convert, -fopenmp-simd
+// for the `omp simd` hints, -ffp-contract=off so no FMA contraction
+// can creep in, and optionally -march=native.  None of these change
+// any computed value: every operation is still an IEEE double op in
+// the same order for every lane, which is what the bit-identity
+// tests against the scalar kernel enforce.
+#include "src/bouncing/montecarlo_batch.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace leak::bouncing {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// Exact u64 -> double conversion for v < 2^53, via the 2^52
+/// magic-number trick on 32-bit halves: unlike a plain cast, every op
+/// here has a vector form on plain SSE2/AVX2 (packed u64 -> double
+/// conversion needs AVX-512DQ).  Both halves and their recombination
+/// are exact, so the result is bit-identical to (double)v.
+inline double to_double_exact(std::uint64_t v) {
+  constexpr std::uint64_t kMagic = 0x4330000000000000ULL;  // 2^52 as bits
+  const std::uint64_t lo = v & 0xFFFFFFFFULL;
+  const std::uint64_t hi = v >> 32;
+  const double dlo = std::bit_cast<double>(kMagic | lo) - 0x1.0p52;
+  const double dhi = std::bit_cast<double>(kMagic | hi) - 0x1.0p52;
+  return dhi * 0x1.0p32 + dlo;
+}
+
+}  // namespace
+
+void BatchPaths::reset(const McConfig& cfg, const StreamSeeder& seeder,
+                       std::size_t first_path, std::size_t n_paths) {
+  stake_.assign(n_paths, cfg.model.initial_stake);
+  score_.assign(n_paths, 0.0);
+  ejected_.assign(n_paths, 0);
+  uniform_.resize(n_paths);
+  s0_.resize(n_paths);
+  s1_.resize(n_paths);
+  s2_.resize(n_paths);
+  s3_.resize(n_paths);
+  for (std::size_t i = 0; i < n_paths; ++i) {
+    // Exactly Rng's constructor: expand the stream seed through four
+    // splitmix64 rounds into the xoshiro lanes.
+    std::uint64_t sm = seeder.seed_for(first_path + i);
+    s0_[i] = splitmix64(sm);
+    s1_[i] = splitmix64(sm);
+    s2_[i] = splitmix64(sm);
+    s3_[i] = splitmix64(sm);
+  }
+}
+
+void BatchPaths::step(const McConfig& cfg) {
+  const double quotient = cfg.model.quotient;
+  const double decrement = cfg.model.score_active_decrement;
+  const double bias = cfg.model.score_bias;
+  const double threshold = cfg.model.ejection_threshold;
+  const double p0 = cfg.p0;
+  const std::size_t n = stake_.size();
+  double* __restrict stake = stake_.data();
+  double* __restrict score = score_.data();
+  double* __restrict uniform = uniform_.data();
+  std::uint64_t* __restrict s0 = s0_.data();
+  std::uint64_t* __restrict s1 = s1_.data();
+  std::uint64_t* __restrict s2 = s2_.data();
+  std::uint64_t* __restrict s3 = s3_.data();
+
+  // Draw loop: advance every xoshiro256** lane one step
+  // (Rng::operator()) and convert to Rng::uniform's [0,1) double.
+  // The two constant multiplies are shift-adds so the loop vectorizes
+  // without a packed 64-bit multiply (AVX-512DQ-only).
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t m5 = s1[i] + (s1[i] << 2);  // s1 * 5
+    const std::uint64_t r7 = rotl(m5, 7);
+    const std::uint64_t draw = r7 + (r7 << 3);  // rotl(s1*5,7) * 9
+    const std::uint64_t t = s1[i] << 17;
+    s2[i] ^= s0[i];
+    s3[i] ^= s1[i];
+    s1[i] ^= s2[i];
+    s0[i] ^= s3[i];
+    s2[i] ^= t;
+    s3[i] = rotl(s3[i], 45);
+    uniform[i] = to_double_exact(draw >> 11) * 0x1.0p-53;
+  }
+
+  // Update loop: same op order as the scalar kernel — Eq 2 penalty
+  // with the previous score, Eq 1 floored score update as a select of
+  // both candidates, ejection flush to exactly 0.0 as a select.  An
+  // ejected path's stake is exactly 0.0, so the penalty and the flush
+  // keep it there and its (still advancing) RNG lane is unobservable.
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    stake[i] -= score[i] * stake[i] / quotient;
+    const double decremented = std::max(score[i] - decrement, 0.0);
+    const double incremented = score[i] + bias;
+    score[i] = uniform[i] < p0 ? decremented : incremented;
+    stake[i] = stake[i] <= threshold ? 0.0 : stake[i];
+  }
+}
+
+void BatchPaths::sync_ejected() {
+  // Ejection <=> stake flushed to exactly 0 (live stake always stays
+  // above the positive ejection threshold), so the flags regenerate
+  // from the stake lane alone — keeping the byte array out of the
+  // per-epoch loops.
+  for (std::size_t i = 0; i < stake_.size(); ++i) {
+    ejected_[i] = stake_[i] == 0.0 ? 1 : 0;
+  }
+}
+
+bool BatchPaths::all_ejected() const {
+  return std::all_of(ejected_.begin(), ejected_.end(),
+                     [](std::uint8_t e) { return e != 0; });
+}
+
+void simulate_stake_block(const McConfig& cfg,
+                          const std::vector<std::size_t>& snaps,
+                          const StreamSeeder& seeder, std::size_t first_path,
+                          std::size_t n_paths, BatchPaths& scratch,
+                          double* const* rows, std::size_t out_offset) {
+  scratch.reset(cfg, seeder, first_path, n_paths);
+  std::size_t next_snap = 0;
+  for (std::size_t t = 1; t <= cfg.epochs && next_snap < snaps.size(); ++t) {
+    scratch.step(cfg);
+    if (t == snaps[next_snap]) {
+      std::copy_n(scratch.stake().data(), n_paths,
+                  rows[next_snap] + out_offset);
+      ++next_snap;
+      // Once the whole block is ejected every later snapshot is 0 —
+      // skip the remaining epochs (the scalar kernel records the same
+      // zeros; this only shortcuts deterministically-dead work).
+      if (next_snap < snaps.size()) {
+        scratch.sync_ejected();
+        if (scratch.all_ejected()) {
+          for (std::size_t k = next_snap; k < snaps.size(); ++k) {
+            std::fill_n(rows[k] + out_offset, n_paths, 0.0);
+          }
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace leak::bouncing

@@ -1,6 +1,7 @@
 #include "src/runner/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/support/env.hpp"
 
@@ -18,6 +19,17 @@ unsigned resolve_threads(unsigned requested) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+std::size_t resolve_block(std::size_t requested) {
+  // 64 paths of SoA state (stake, score, ejected, four 64-bit xoshiro
+  // lanes) is ~3.3 KiB — comfortably L1-resident with room for the
+  // output row — and big enough to amortise the per-block dispatch.
+  constexpr std::size_t kDefaultBlock = 64;
+  if (requested > 0) return requested;
+  const std::uint64_t from_env = env::u64_or("LEAK_BLOCK", 0);
+  if (from_env > 0) return static_cast<std::size_t>(from_env);
+  return kDefaultBlock;
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -49,6 +61,36 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
   all_idle_.wait(lk, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::run_blocks(
+    std::size_t n, std::size_t block,
+    const std::function<bool(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  block = std::max<std::size_t>(block, 1);
+  const std::size_t n_blocks = (n + block - 1) / block;
+  // One claiming loop per worker; a shared cursor hands out ascending
+  // block indices so claim order is deterministic even though
+  // completion order is not.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  const unsigned loops = static_cast<unsigned>(
+      std::min<std::size_t>(size(), n_blocks));
+  for (unsigned w = 0; w < loops; ++w) {
+    submit([cursor, cancelled, n, block, n_blocks, &body] {
+      while (!cancelled->load(std::memory_order_relaxed)) {
+        const std::size_t b = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (b >= n_blocks) return;
+        const std::size_t begin = b * block;
+        const std::size_t end = std::min(begin + block, n);
+        if (!body(begin, end)) {
+          cancelled->store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  wait_idle();
 }
 
 void ThreadPool::worker_loop() {

@@ -20,6 +20,13 @@ namespace leak::runner {
 /// set, otherwise std::thread::hardware_concurrency (at least 1).
 [[nodiscard]] unsigned resolve_threads(unsigned requested);
 
+/// Resolve a `block` knob (trials per scheduled block) the same way:
+/// an explicit positive request wins; 0 means the LEAK_BLOCK
+/// environment variable when set, otherwise a tuned default sized so
+/// the batched Monte Carlo kernel's structure-of-arrays state stays
+/// inside L1 (see src/bouncing/montecarlo_batch.hpp).
+[[nodiscard]] std::size_t resolve_block(std::size_t requested);
+
 class ThreadPool {
  public:
   /// Spawns resolve_threads(threads) workers.
@@ -41,6 +48,16 @@ class ThreadPool {
 
   /// Block until every submitted task has finished running.
   void wait_idle();
+
+  /// Chunk fan-out: carve [0, n) into fixed-size blocks (block b
+  /// covers [b*block, min((b+1)*block, n)) — boundaries depend only on
+  /// (n, block), never on scheduling) and run body(begin, end) for
+  /// each, blocks claimed by the workers in ascending order.  Blocks
+  /// until every claimed block ran.  body must not throw (callers
+  /// that can fail wrap their body, see TrialRunner::run_blocks) and
+  /// returns false to cancel the blocks not yet claimed.
+  void run_blocks(std::size_t n, std::size_t block,
+                  const std::function<bool(std::size_t, std::size_t)>& body);
 
  private:
   void worker_loop();

@@ -91,7 +91,8 @@ void register_bouncing_mc(ScenarioRegistry& r) {
                   "comma-separated snapshot epochs; empty = final epoch only",
                   "")
       .add_int("seed", "master RNG seed", 99)
-      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "paths per scheduled block (0 = auto)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     bouncing::McConfig cfg;
     cfg.paths = static_cast<std::size_t>(p.get_int("paths"));
@@ -100,6 +101,7 @@ void register_bouncing_mc(ScenarioRegistry& r) {
     cfg.beta0 = p.get_double("beta0");
     cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
     cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    cfg.block = static_cast<std::size_t>(p.get_int("block"));
     std::vector<std::size_t> snaps;
     const std::string& grid = p.get_string("snapshots");
     if (grid.empty()) {
@@ -152,7 +154,8 @@ void register_attack_lifetime(ScenarioRegistry& r) {
                 "(false = constant beta0 paper bound)",
                 true)
       .add_int("seed", "master RNG seed", 2024)
-      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "runs per scheduled block (0 = auto)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     bouncing::AttackSimConfig cfg;
     cfg.runs = static_cast<std::size_t>(p.get_int("paths"));
@@ -165,6 +168,7 @@ void register_attack_lifetime(ScenarioRegistry& r) {
     cfg.stake_weighted_lottery = p.get_bool("stake_weighted");
     cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
     cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    cfg.block = static_cast<std::size_t>(p.get_int("block"));
     const auto res = bouncing::run_attack_sim(cfg);
 
     out->add_metric("prob_threshold_broken", res.prob_threshold_broken);
@@ -201,7 +205,8 @@ void register_population_ensemble(ScenarioRegistry& r) {
       .add_double("p0", "honest branch-assignment probability", 0.5, 0.0, 1.0)
       .add_double("beta0", "Byzantine stake proportion", 0.33, 0.0, 0.5)
       .add_int("seed", "master RNG seed", 11)
-      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "paths per scheduled block (0 = auto)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     bouncing::PopulationEnsembleConfig cfg;
     cfg.base.honest_validators =
@@ -212,6 +217,7 @@ void register_population_ensemble(ScenarioRegistry& r) {
     cfg.base.seed = static_cast<std::uint64_t>(p.get_int("seed"));
     cfg.paths = static_cast<std::size_t>(p.get_int("paths"));
     cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    cfg.block = static_cast<std::size_t>(p.get_int("block"));
     const auto res = bouncing::run_population_ensemble(cfg);
 
     out->add_metric("exceed_fraction", res.exceed_fraction);
@@ -248,7 +254,8 @@ void register_partition_trials(ScenarioRegistry& r) {
                   "honest", {"honest", "slashable", "semiactive", "overthrow"})
       .add_int("max_epochs", "horizon in epochs", 5000, 1, 1e7)
       .add_int("seed", "master RNG seed", 2024)
-      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     sim::PartitionTrialsConfig cfg;
     cfg.base.n_validators =
@@ -263,6 +270,7 @@ void register_partition_trials(ScenarioRegistry& r) {
     cfg.trials = static_cast<std::size_t>(p.get_int("paths"));
     cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
     cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    cfg.block = static_cast<std::size_t>(p.get_int("block"));
     const auto res = sim::run_partition_trials(cfg);
 
     out->add_metric("conflicting_fraction", res.conflicting_fraction);
@@ -295,7 +303,8 @@ void register_duty_cycle(ScenarioRegistry& r) {
                   0.33, 0.0, 0.5)
       .add_int("paths", "(ignored - deterministic scenario)", 1, 1, 1e9)
       .add_int("seed", "(ignored - deterministic scenario)", 0)
-      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024);
+      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024)
+      .add_int("block", "(ignored - deterministic scenario)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     const auto cfg = analytic::AnalyticConfig::paper();
     const auto k_max = static_cast<unsigned>(p.get_int("k_max"));
@@ -346,7 +355,8 @@ void register_recovery(ScenarioRegistry& r) {
   spec.add_double("t_end", "epoch at which the leak ends", 500.0, 1.0, 1e7)
       .add_int("paths", "(ignored - deterministic scenario)", 1, 1, 1e9)
       .add_int("seed", "(ignored - deterministic scenario)", 0)
-      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024);
+      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024)
+      .add_int("block", "(ignored - deterministic scenario)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     const auto cfg = analytic::AnalyticConfig::paper();
     const double t_end = p.get_double("t_end");
@@ -387,7 +397,8 @@ void register_slot_protocol(ScenarioRegistry& r) {
                   0.0, 0.0, 1e6)
       .add_double("delta", "network delay bound in seconds", 1.0, 0.0, 60.0)
       .add_int("seed", "master RNG seed", 1)
-      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024);
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     sim::SlotSimConfig base;
     base.n_honest = static_cast<std::uint32_t>(p.get_int("n_honest"));
@@ -401,11 +412,17 @@ void register_slot_protocol(ScenarioRegistry& r) {
         static_cast<std::uint64_t>(p.get_int("seed")));
     const runner::TrialRunner pool(
         static_cast<unsigned>(p.get_int("threads")));
-    const auto trials = pool.run(paths, [&](std::size_t i) {
-      sim::SlotSimConfig cfg = base;
-      cfg.seed = seeder.seed_for(i);
-      return sim::SlotSim(cfg).run();
-    });
+    std::vector<sim::SlotSimResult> trials(paths);
+    pool.run_blocks(paths,
+                    runner::resolve_block(
+                        static_cast<std::size_t>(p.get_int("block"))),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        sim::SlotSimConfig cfg = base;
+                        cfg.seed = seeder.seed_for(i);
+                        trials[i] = sim::SlotSim(cfg).run();
+                      }
+                    });
 
     RunningStats finalized, violations, slashed, messages;
     std::size_t leaks = 0;
@@ -456,7 +473,8 @@ void register_table1(ScenarioRegistry& r) {
       "deterministic, paths/seed ignored");
   spec.add_int("paths", "(ignored - deterministic scenario)", 1, 1, 1e9)
       .add_int("seed", "(ignored - deterministic scenario)", 0)
-      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024);
+      .add_int("threads", "(ignored - deterministic scenario)", 0, 0, 1024)
+      .add_int("block", "(ignored - deterministic scenario)", 0, 0, 1e9);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     (void)p;
     const auto cfg = analytic::AnalyticConfig::paper();

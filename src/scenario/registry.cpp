@@ -42,7 +42,7 @@ void ScenarioRegistry::add(ScenarioSpec spec, RunFn run) {
     throw std::invalid_argument("ScenarioRegistry: duplicate scenario \"" +
                                 spec.name() + "\"");
   }
-  for (const char* required : {"paths", "seed", "threads"}) {
+  for (const char* required : {"paths", "seed", "threads", "block"}) {
     const ParamSpec* p = spec.find(required);
     if (p == nullptr || p->type != ParamType::kInt) {
       throw std::invalid_argument(

@@ -6,11 +6,13 @@
 //
 // Uniform contract, enforced at registration time: every spec declares
 // the int parameters `paths` (trial count), `seed` (master RNG seed),
-// and `threads` (0 = LEAK_THREADS / hardware_concurrency), so generic
-// tooling — `leakctl run <name> --paths 64`, the CI scenario-smoke
-// job, the sweep engine's per-cell seeding — works on every scenario
-// without scenario-specific knowledge.  Deterministic analytic
-// scenarios accept them and note that they are ignored.
+// `threads` (0 = LEAK_THREADS / hardware_concurrency), and `block`
+// (trials per scheduled block, 0 = LEAK_BLOCK / tuned default), so
+// generic tooling — `leakctl run <name> --paths 64 --block 256`, the
+// CI scenario-smoke job, the sweep engine's per-cell seeding — works
+// on every scenario without scenario-specific knowledge.
+// Deterministic analytic scenarios accept them and note that they are
+// ignored.
 #pragma once
 
 #include <functional>

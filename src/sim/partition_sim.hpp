@@ -87,7 +87,8 @@ struct PartitionTrialsConfig {
   PartitionSimConfig base;
   std::size_t trials = 64;
   std::uint64_t seed = 2024;
-  unsigned threads = 0;  ///< 0 = LEAK_THREADS / hardware_concurrency
+  unsigned threads = 0;   ///< 0 = LEAK_THREADS / hardware_concurrency
+  std::size_t block = 0;  ///< trials per block; 0 = LEAK_BLOCK / default
 };
 
 struct PartitionTrialsResult {

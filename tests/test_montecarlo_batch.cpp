@@ -1,0 +1,345 @@
+// Contract of the batched Monte Carlo engine: the block-scheduled SoA
+// kernel and every block-converted driver are bit-identical to the
+// scalar reference for every (block_size, threads) combination, the
+// summary mode never materializes the per-path matrix while producing
+// the same summaries, and the ordered-merge block runner feeds the
+// reduction in index order with bounded in-flight memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/bouncing/attack_sim.hpp"
+#include "src/bouncing/montecarlo.hpp"
+#include "src/bouncing/montecarlo_batch.hpp"
+#include "src/runner/thread_pool.hpp"
+#include "src/runner/trial_runner.hpp"
+#include "src/scenario/registry.hpp"
+#include "src/sim/partition_sim.hpp"
+#include "src/support/env.hpp"
+
+namespace leak {
+namespace {
+
+// The (block, threads) grid every driver is checked over.  `0` stands
+// for "paths" (resolved per test), exercising one-block scheduling.
+std::vector<std::size_t> block_grid(std::size_t paths) {
+  return {1, 7, 64, paths};
+}
+constexpr unsigned kThreadGrid[] = {1, 4};
+
+void expect_mc_equal(const bouncing::McResult& a, const bouncing::McResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.epochs, b.epochs) << label;
+  EXPECT_EQ(a.stakes, b.stakes) << label;
+  EXPECT_EQ(a.ejected_fraction, b.ejected_fraction) << label;
+  EXPECT_EQ(a.capped_fraction, b.capped_fraction) << label;
+  EXPECT_EQ(a.prob_beta_exceeds, b.prob_beta_exceeds) << label;
+  EXPECT_EQ(a.median_alive_estimate, b.median_alive_estimate) << label;
+  ASSERT_EQ(a.stake_stats.size(), b.stake_stats.size()) << label;
+  for (std::size_t k = 0; k < a.stake_stats.size(); ++k) {
+    EXPECT_EQ(a.stake_stats[k].count(), b.stake_stats[k].count()) << label;
+    EXPECT_EQ(a.stake_stats[k].mean(), b.stake_stats[k].mean()) << label;
+    EXPECT_EQ(a.stake_stats[k].variance(), b.stake_stats[k].variance())
+        << label;
+    EXPECT_EQ(a.stake_stats[k].min(), b.stake_stats[k].min()) << label;
+    EXPECT_EQ(a.stake_stats[k].max(), b.stake_stats[k].max()) << label;
+  }
+}
+
+// Acceptance criterion: the batched kernel reproduces the scalar
+// kernel bit-for-bit for block sizes {1, 7, 64, paths} x threads
+// {1, 4}, spanning the ejection wave so all three path states
+// (capped, bulk, ejected) occur.
+TEST(BatchBitIdentity, BouncingMcMatchesScalarForEveryBlockAndThreads) {
+  bouncing::McConfig cfg;
+  cfg.paths = env::scaled_count(400);
+  cfg.epochs = 1200;
+  cfg.seed = 41;
+  cfg.threads = 1;
+  const std::vector<std::size_t> snaps{17, 600, 1200};
+  const auto ref = bouncing::run_bouncing_mc_scalar(cfg, snaps);
+  ASSERT_EQ(ref.stakes.size(), snaps.size());
+  for (const std::size_t block : block_grid(cfg.paths)) {
+    for (const unsigned threads : kThreadGrid) {
+      cfg.block = block;
+      cfg.threads = threads;
+      const auto batched = bouncing::run_bouncing_mc(cfg, snaps);
+      expect_mc_equal(batched, ref,
+                      "block=" + std::to_string(block) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// Summary mode: no per-path matrix, same counts and streaming
+// summaries, for every (block, threads) pair.
+TEST(BatchBitIdentity, SummaryModeNeverMaterializesPathsAndMatchesFull) {
+  bouncing::McConfig cfg;
+  cfg.paths = env::scaled_count(300);
+  cfg.epochs = 900;
+  cfg.seed = 99;
+  cfg.threads = 1;
+  const std::vector<std::size_t> snaps{450, 900};
+  const auto full = bouncing::run_bouncing_mc(cfg, snaps);
+  ASSERT_FALSE(full.stakes.empty());
+  for (const std::size_t block : block_grid(cfg.paths)) {
+    for (const unsigned threads : kThreadGrid) {
+      cfg.block = block;
+      cfg.threads = threads;
+      cfg.keep_paths = false;
+      const auto summary = bouncing::run_bouncing_mc(cfg, snaps);
+      cfg.keep_paths = true;
+      // The guard: summary mode must not allocate the matrix.
+      EXPECT_TRUE(summary.stakes.empty());
+      EXPECT_EQ(summary.ejected_fraction, full.ejected_fraction);
+      EXPECT_EQ(summary.capped_fraction, full.capped_fraction);
+      EXPECT_EQ(summary.prob_beta_exceeds, full.prob_beta_exceeds);
+      EXPECT_EQ(summary.median_alive_estimate, full.median_alive_estimate);
+      ASSERT_EQ(summary.stake_stats.size(), full.stake_stats.size());
+      for (std::size_t k = 0; k < full.stake_stats.size(); ++k) {
+        EXPECT_EQ(summary.stake_stats[k].count(),
+                  full.stake_stats[k].count());
+        EXPECT_EQ(summary.stake_stats[k].mean(), full.stake_stats[k].mean());
+        EXPECT_EQ(summary.stake_stats[k].variance(),
+                  full.stake_stats[k].variance());
+      }
+    }
+  }
+}
+
+// The P-squared median estimate stays close to the exact sample
+// median of the alive paths (it is an estimate, not the exact order
+// statistic — bit-stability across modes is covered above).
+TEST(BatchBitIdentity, MedianEstimateTracksExactMedian) {
+  bouncing::McConfig cfg;
+  cfg.paths = env::scaled_count(2000);
+  cfg.epochs = 2000;
+  cfg.seed = 7;
+  const auto r = bouncing::run_bouncing_mc(cfg, {2000});
+  std::vector<double> alive;
+  for (const double s : r.stakes[0]) {
+    if (s > 0.0) alive.push_back(s);
+  }
+  ASSERT_GT(alive.size(), 100u);
+  const double exact = quantile(std::move(alive), 0.5);
+  EXPECT_NEAR(r.median_alive_estimate[0] / exact, 1.0, 0.02);
+}
+
+TEST(BatchBitIdentity, AttackSimIdenticalForEveryBlockAndThreads) {
+  bouncing::AttackSimConfig cfg;
+  cfg.runs = env::scaled_count(150);
+  cfg.honest_validators = 25;
+  cfg.max_epochs = 1500;
+  cfg.seed = 77;
+  cfg.threads = 1;
+  cfg.block = 1;
+  const auto ref = bouncing::run_attack_sim(cfg);
+  for (const std::size_t block : block_grid(cfg.runs)) {
+    for (const unsigned threads : kThreadGrid) {
+      cfg.block = block;
+      cfg.threads = threads;
+      const auto r = bouncing::run_attack_sim(cfg);
+      EXPECT_EQ(r.durations, ref.durations) << block << "/" << threads;
+      EXPECT_EQ(r.break_epochs, ref.break_epochs) << block << "/" << threads;
+      EXPECT_EQ(r.mean_duration, ref.mean_duration);
+      EXPECT_EQ(r.median_duration, ref.median_duration);
+      EXPECT_EQ(r.p99_duration, ref.p99_duration);
+      EXPECT_EQ(r.prob_threshold_broken, ref.prob_threshold_broken);
+    }
+  }
+}
+
+TEST(BatchBitIdentity, PopulationEnsembleIdenticalForEveryBlockAndThreads) {
+  bouncing::PopulationEnsembleConfig cfg;
+  cfg.base.honest_validators = 30;
+  cfg.base.epochs = 300;
+  cfg.base.beta0 = 1.0 / 3.0;
+  cfg.paths = env::scaled_count(12);
+  cfg.threads = 1;
+  cfg.block = 1;
+  const auto ref = bouncing::run_population_ensemble(cfg);
+  for (const std::size_t block : block_grid(cfg.paths)) {
+    for (const unsigned threads : kThreadGrid) {
+      cfg.block = block;
+      cfg.threads = threads;
+      const auto r = bouncing::run_population_ensemble(cfg);
+      EXPECT_EQ(r.first_exceed_epochs, ref.first_exceed_epochs)
+          << block << "/" << threads;
+      EXPECT_EQ(r.exceed_fraction, ref.exceed_fraction);
+      EXPECT_EQ(r.mean_final_beta, ref.mean_final_beta);
+    }
+  }
+}
+
+TEST(BatchBitIdentity, PartitionTrialsIdenticalForEveryBlockAndThreads) {
+  sim::PartitionTrialsConfig cfg;
+  cfg.base.n_validators = 100;
+  cfg.base.strategy = sim::Strategy::kNone;
+  cfg.base.max_epochs = 500;
+  cfg.base.trajectory_stride = 500;
+  cfg.trials = env::scaled_count(10);
+  cfg.seed = 5;
+  cfg.threads = 1;
+  cfg.block = 1;
+  const auto ref = sim::run_partition_trials(cfg);
+  for (const std::size_t block : block_grid(cfg.trials)) {
+    for (const unsigned threads : kThreadGrid) {
+      cfg.block = block;
+      cfg.threads = threads;
+      const auto r = sim::run_partition_trials(cfg);
+      EXPECT_EQ(r.conflict_epochs, ref.conflict_epochs)
+          << block << "/" << threads;
+      EXPECT_EQ(r.beta_peaks, ref.beta_peaks) << block << "/" << threads;
+      EXPECT_EQ(r.conflicting_fraction, ref.conflicting_fraction);
+      EXPECT_EQ(r.beta_exceeded_fraction, ref.beta_exceeded_fraction);
+      EXPECT_EQ(r.mean_conflict_epoch, ref.mean_conflict_epoch);
+    }
+  }
+}
+
+// Sweep cells are block-size independent: a registry scenario run at
+// block 1 and block 64 emits identical metrics and trial rows.
+TEST(BatchBitIdentity, ScenarioRunsAreBlockSizeIndependent) {
+  const auto& sc = *scenario::builtin_registry().find("bouncing-mc");
+  auto params = sc.spec().defaults();
+  params.set("paths", static_cast<std::int64_t>(env::scaled_count(200)));
+  params.set("epochs", std::int64_t{400});
+  params.set("block", std::int64_t{1});
+  const auto base = sc.run(params);
+  for (const std::int64_t block : {7, 64, 4096}) {
+    params.set("block", block);
+    const auto r = sc.run(params);
+    EXPECT_EQ(r.metrics, base.metrics) << "block=" << block;
+    ASSERT_TRUE(r.trials.has_value());
+    EXPECT_EQ(r.trials->to_csv(), base.trials->to_csv()) << "block=" << block;
+  }
+}
+
+// --- the block runner itself -------------------------------------------
+
+TEST(RunBlocks, CoversEveryTrialExactlyOnce) {
+  const runner::TrialRunner pool(4);
+  for (const std::size_t n : {1ul, 5ul, 64ul, 129ul}) {
+    for (const std::size_t block : {1ul, 7ul, 64ul, 200ul}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.run_blocks(n, block, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, n);
+        ASSERT_LE(end - begin, block);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << n << "/" << block << "/" << i;
+      }
+    }
+  }
+}
+
+TEST(RunBlocks, ExceptionPropagatesAndPoolStaysUsable) {
+  const runner::TrialRunner pool(4);
+  EXPECT_THROW(
+      pool.run_blocks(256, 8,
+                      [&](std::size_t begin, std::size_t) {
+                        if (begin >= 64) {
+                          throw std::runtime_error("block failed");
+                        }
+                      }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run_blocks(32, 4, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(RunBlocksOrdered, MergesInAscendingOrderWithBoundedInFlight) {
+  const runner::TrialRunner pool(4);
+  constexpr std::size_t kTrials = 96;
+  constexpr std::size_t kBlock = 8;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::size_t> merge_order;
+  std::vector<int> sums;
+  pool.run_blocks(
+      kTrials, kBlock,
+      [&](std::size_t begin, std::size_t end) {
+        const int now = in_flight.fetch_add(1) + 1;
+        int seen = max_in_flight.load();
+        while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+        }
+        int sum = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          sum += static_cast<int>(i);
+        }
+        return sum;
+      },
+      [&](std::size_t begin, std::size_t, int sum) {
+        in_flight.fetch_sub(1);
+        merge_order.push_back(begin / kBlock);  // merge runs exclusively
+        sums.push_back(sum);
+      });
+  ASSERT_EQ(merge_order.size(), kTrials / kBlock);
+  for (std::size_t b = 0; b < merge_order.size(); ++b) {
+    EXPECT_EQ(merge_order[b], b);
+  }
+  EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), 0),
+            static_cast<int>(kTrials * (kTrials - 1) / 2));
+  // A worker holds at most one unmerged block: with 4 workers no more
+  // than 4 sim results may exist before their merge turn.
+  EXPECT_LE(max_in_flight.load(), 4);
+}
+
+TEST(RunBlocksOrdered, SerialPathAndExceptions) {
+  const runner::TrialRunner pool(1);
+  std::vector<std::size_t> order;
+  pool.run_blocks(
+      10, 3, [](std::size_t begin, std::size_t) { return begin; },
+      [&](std::size_t begin, std::size_t, std::size_t value) {
+        EXPECT_EQ(begin, value);
+        order.push_back(begin);
+      });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 3, 6, 9}));
+
+  const runner::TrialRunner parallel(4);
+  EXPECT_THROW(parallel.run_blocks(
+                   64, 4,
+                   [](std::size_t begin, std::size_t) -> int {
+                     if (begin == 32) throw std::invalid_argument("sim");
+                     return 0;
+                   },
+                   [](std::size_t, std::size_t, int) {}),
+               std::invalid_argument);
+  EXPECT_THROW(parallel.run_blocks(
+                   64, 4, [](std::size_t, std::size_t) { return 0; },
+                   [](std::size_t begin, std::size_t, int) {
+                     if (begin == 16) throw std::invalid_argument("merge");
+                   }),
+               std::invalid_argument);
+}
+
+TEST(ResolveBlock, ExplicitWinsElseEnvElseDefault) {
+  EXPECT_EQ(runner::resolve_block(17), 17u);
+  EXPECT_GE(runner::resolve_block(0), 1u);
+}
+
+// run_bouncing_mc_scalar ignores block/keep_paths: it is the fixed
+// reference the batched kernel is measured against.
+TEST(ScalarReference, IgnoresBatchKnobs) {
+  bouncing::McConfig cfg;
+  cfg.paths = 50;
+  cfg.epochs = 100;
+  const auto a = bouncing::run_bouncing_mc_scalar(cfg, {100});
+  cfg.block = 7;
+  cfg.keep_paths = false;
+  const auto b = bouncing::run_bouncing_mc_scalar(cfg, {100});
+  EXPECT_EQ(a.stakes, b.stakes);
+  EXPECT_FALSE(b.stakes.empty());
+}
+
+}  // namespace
+}  // namespace leak

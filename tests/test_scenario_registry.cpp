@@ -31,7 +31,7 @@ TEST(ScenarioRegistryTest, BuiltinCatalogIsComplete) {
 
 TEST(ScenarioRegistryTest, EveryScenarioHonorsTheUniformContract) {
   for (const auto* s : builtin_registry().all()) {
-    for (const char* p : {"paths", "seed", "threads"}) {
+    for (const char* p : {"paths", "seed", "threads", "block"}) {
       const ParamSpec* spec = s->spec().find(p);
       ASSERT_NE(spec, nullptr) << s->spec().name() << " lacks " << p;
       EXPECT_EQ(spec->type, ParamType::kInt) << s->spec().name();
@@ -42,15 +42,26 @@ TEST(ScenarioRegistryTest, EveryScenarioHonorsTheUniformContract) {
 TEST(ScenarioRegistryTest, AddRejectsDuplicatesAndContractViolations) {
   ScenarioRegistry r;
   ScenarioSpec ok("s1", "d");
-  ok.add_int("paths", "", 1).add_int("seed", "", 0).add_int("threads", "", 0);
+  ok.add_int("paths", "", 1)
+      .add_int("seed", "", 0)
+      .add_int("threads", "", 0)
+      .add_int("block", "", 0);
   r.add(ok, [](const ParamSet&, ScenarioResult*) {});
   EXPECT_THROW(r.add(ok, [](const ParamSet&, ScenarioResult*) {}),
                std::invalid_argument);
 
   ScenarioSpec no_paths("s2", "d");
-  no_paths.add_int("seed", "", 0).add_int("threads", "", 0);
+  no_paths.add_int("seed", "", 0).add_int("threads", "", 0).add_int(
+      "block", "", 0);
   EXPECT_THROW(
       r.add(std::move(no_paths), [](const ParamSet&, ScenarioResult*) {}),
+      std::invalid_argument);
+
+  ScenarioSpec no_block("s3", "d");
+  no_block.add_int("paths", "", 1).add_int("seed", "", 0).add_int(
+      "threads", "", 0);
+  EXPECT_THROW(
+      r.add(std::move(no_block), [](const ParamSet&, ScenarioResult*) {}),
       std::invalid_argument);
 }
 

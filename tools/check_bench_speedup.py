@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate a Google Benchmark JSON report on a speedup ratio.
+
+Used by the CI bench-smoke job: after running
+bench_fig9_stake_distribution with the scalar reference and the
+batched block-size sweep, fail the job if the batched Monte Carlo
+kernel is slower than the scalar baseline on the runner.
+
+    check_bench_speedup.py REPORT.json \
+        --baseline BM_MonteCarloScalarRef \
+        --candidate 'BM_MonteCarloBlockSize/64' \
+        [--min-ratio 1.1]
+
+The ratio is candidate items_per_second / baseline items_per_second
+(both benchmarks process the same path-epochs, so this is the
+paths/sec speedup).  Every benchmark whose name matches --candidate as
+a prefix is reported; the gate applies to the best one, so transient
+noise on one block size cannot fail a run that has a faster cell.
+"""
+
+import argparse
+import json
+import sys
+
+
+def items_per_second(bench):
+    ips = bench.get("items_per_second")
+    if ips is None:
+        raise SystemExit(
+            f"benchmark {bench.get('name')} has no items_per_second "
+            "(missing SetItemsProcessed?)")
+    return float(ips)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="--benchmark_out JSON file")
+    parser.add_argument("--baseline", required=True,
+                        help="exact benchmark name of the baseline")
+    parser.add_argument("--candidate", required=True,
+                        help="benchmark name (prefix) of the candidate(s)")
+    parser.add_argument("--min-ratio", type=float, default=1.1,
+                        help="minimum candidate/baseline items/sec ratio "
+                             "(default 1.1)")
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as fh:
+        benches = json.load(fh).get("benchmarks", [])
+
+    baseline = [b for b in benches if b.get("name") == args.baseline]
+    if not baseline:
+        raise SystemExit(f"baseline {args.baseline!r} not in {args.report}")
+    base_ips = items_per_second(baseline[0])
+
+    candidates = [b for b in benches
+                  if b.get("name", "").startswith(args.candidate)]
+    if not candidates:
+        raise SystemExit(f"candidate {args.candidate!r} not in {args.report}")
+
+    best_ratio = 0.0
+    print(f"baseline  {args.baseline}: {base_ips:.3e} items/sec")
+    for bench in candidates:
+        ratio = items_per_second(bench) / base_ips
+        best_ratio = max(best_ratio, ratio)
+        print(f"candidate {bench['name']}: "
+              f"{items_per_second(bench):.3e} items/sec ({ratio:.2f}x)")
+
+    if best_ratio < args.min_ratio:
+        print(f"FAIL: best speedup {best_ratio:.2f}x < required "
+              f"{args.min_ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"OK: best speedup {best_ratio:.2f}x >= {args.min_ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

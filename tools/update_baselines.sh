@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate the per-scenario ScenarioResult JSON baselines under
+# bench/baselines/.  Each baseline is a full `leakctl run --json`
+# report with pinned parameters (small path counts so the CI diff job
+# stays fast, fixed seeds, threads=0 — results are thread-invariant);
+# tools/check_baselines.py replays each one through
+# `leakctl run <scenario> --params <baseline>` and diffs the metrics
+# exactly, catching both silent numeric drift and any bit-identity
+# break in the batched Monte Carlo kernel.
+#
+# Usage: tools/update_baselines.sh [-b BUILD_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+while getopts "b:h" opt; do
+  case "${opt}" in
+    b) BUILD_DIR="${OPTARG}" ;;
+    h) echo "usage: $0 [-b BUILD_DIR]"; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+
+LEAKCTL="${BUILD_DIR}/examples/leakctl"
+if [[ ! -x "${LEAKCTL}" ]]; then
+  echo "error: ${LEAKCTL} not found - build first:" >&2
+  echo "  cmake -B \"${BUILD_DIR}\" -S \"${REPO_ROOT}\" && cmake --build \"${BUILD_DIR}\" --target leakctl -j" >&2
+  exit 1
+fi
+
+OUT_DIR="${REPO_ROOT}/bench/baselines"
+mkdir -p "${OUT_DIR}"
+
+# scenario | pinned overrides (kept small: the whole set replays in
+# seconds on one CI core).
+run_baseline() {
+  local name="$1"; shift
+  echo ">> ${name}"
+  "${LEAKCTL}" run "${name}" "$@" --quiet --json "${OUT_DIR}/${name}.json"
+}
+
+run_baseline bouncing-mc         --paths 64 --set epochs=1000 --set snapshots=500,1000
+run_baseline attack-lifetime     --paths 64 --set honest_validators=50 --set max_epochs=2000
+run_baseline population-ensemble --paths 16 --set honest_validators=50 --set epochs=1000
+run_baseline partition-trials    --paths 8 --set n_validators=200 --set max_epochs=2000
+run_baseline duty-cycle
+run_baseline recovery
+run_baseline slot-protocol       --paths 2 --set n_honest=16 --set epochs=6
+run_baseline table1
+
+echo "wrote $(ls "${OUT_DIR}"/*.json | wc -l) baselines to ${OUT_DIR}"
