@@ -89,6 +89,21 @@ double multibranch_beta_max(unsigned branches, double beta0,
   return denom > 0.0 ? byz / denom : 0.0;
 }
 
+double multibranch_exceed_threshold(unsigned branches, double beta0,
+                                    double t, const AnalyticConfig& cfg) {
+  if (branches < 2) {
+    throw std::invalid_argument("multibranch: need >= 2 branches");
+  }
+  const double factor =
+      static_cast<double>(branches) * beta0 / (1.0 - beta0);
+  // branches = 2 must stay bit-identical to the legacy Monte Carlo
+  // criterion, which references the paper's semi-active closed form
+  // (numerically the duty-cycle k = 2 law, but routed through
+  // stake_model so the expression matches to the last bit).
+  if (branches == 2) return factor * stake(Behavior::kSemiActive, t, cfg);
+  return factor * duty_cycle_stake(branches, t, cfg);
+}
+
 double multibranch_beta0_lower_bound(unsigned branches,
                                      const AnalyticConfig& cfg) {
   if (branches < 2) {

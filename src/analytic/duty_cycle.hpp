@@ -55,4 +55,14 @@ namespace leak::analytic {
 [[nodiscard]] double multibranch_beta0_lower_bound(
     unsigned branches, const AnalyticConfig& cfg);
 
+/// Per-validator honest-stake threshold of the Eq 23 exceedance
+/// criterion on one branch of the m-branch rotation at epoch t: the
+/// branch's Byzantine proportion exceeds 1/3 exactly when the honest
+/// stake falls below this value.  branches = 2 reproduces the
+/// two-branch criterion run_bouncing_mc has always used,
+/// bit-identically.
+[[nodiscard]] double multibranch_exceed_threshold(unsigned branches,
+                                                  double beta0, double t,
+                                                  const AnalyticConfig& cfg);
+
 }  // namespace leak::analytic

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/analytic/duty_cycle.hpp"
 #include "src/analytic/stake_model.hpp"
 #include "src/bouncing/montecarlo_batch.hpp"
 #include "src/runner/thread_pool.hpp"
@@ -60,6 +61,9 @@ void validate_grid(const McConfig& cfg,
       snapshot_epochs.back() > cfg.epochs) {
     throw std::invalid_argument("run_bouncing_mc: bad snapshot grid");
   }
+  if (cfg.branches < 2) {
+    throw std::invalid_argument("run_bouncing_mc: branches must be >= 2");
+  }
 }
 
 /// Streaming per-snapshot reduction shared by the scalar and batched
@@ -76,14 +80,13 @@ class SnapshotAccumulators {
         exceeds_(snaps.size(), 0),
         stats_(snaps.size()),
         median_alive_(snaps.size(), P2Quantile(0.5)) {
-    // Byzantine (semi-active) reference stake at each snapshot epoch
-    // for the Eq 23 exceedance criterion.
+    // Byzantine (1-in-m duty-cycled; m = 2 is the paper's semi-active
+    // case) reference stake at each snapshot epoch for the Eq 23
+    // exceedance criterion.
     threshold_.resize(snaps.size());
-    const double factor = 2.0 * cfg.beta0 / (1.0 - cfg.beta0);
     for (std::size_t k = 0; k < snaps.size(); ++k) {
-      threshold_[k] =
-          factor * analytic::stake(analytic::Behavior::kSemiActive,
-                                   static_cast<double>(snaps[k]), cfg.model);
+      threshold_[k] = analytic::multibranch_exceed_threshold(
+          cfg.branches, cfg.beta0, static_cast<double>(snaps[k]), cfg.model);
     }
   }
 

@@ -17,6 +17,13 @@ namespace leak::bouncing {
 struct McConfig {
   double p0 = 0.5;        ///< honest branch-assignment probability
   double beta0 = 0.33;    ///< Byzantine stake proportion
+  /// Branches of the rotation attack the exceedance criterion assumes:
+  /// the Byzantine stake on the observed branch follows the 1-in-m
+  /// duty-cycle decay (m = 2 is the paper's semi-active two-branch
+  /// case and keeps every result bit-identical).  The honest dynamics
+  /// are governed by p0 — set p0 = 1/branches for the symmetric
+  /// m-branch attack.
+  unsigned branches = 2;
   std::size_t paths = 10000;
   std::size_t epochs = 8000;
   std::uint64_t seed = 7;

@@ -35,7 +35,8 @@ EpochPenaltyReport InactivityTracker::process_epoch(
 
     // Penalty uses the score and balance *before* this epoch's update
     // (Eq 2 uses I(t-1) and s(t-1)).
-    if (report.leaking) {
+    if (report.leaking || (config_.inactivity_penalty_tracks_score &&
+                           rec.inactivity_score > 0)) {
       const auto penalty_gwei = static_cast<std::uint64_t>(
           (static_cast<__uint128_t>(rec.balance.value()) *
            rec.inactivity_score) /

@@ -29,6 +29,13 @@ struct SpecConfig {
   /// Fraction of the balance burned immediately on slashing
   /// (denominator: slashed loses balance/min_slashing_penalty_quotient).
   std::uint64_t min_slashing_penalty_quotient = 32;
+  /// Apply the Eq 2 penalty whenever the inactivity score is positive,
+  /// not only while the leak is on (the real spec's behaviour, and the
+  /// model behind analytic::residual_loss: a drained score keeps
+  /// inflicting penalties after finalization resumes).  The paper's
+  /// leak analysis never leaves the leak, so the default keeps the
+  /// legacy gate and every existing result bit-identical.
+  bool inactivity_penalty_tracks_score = false;
   /// Rate-limit ejections through the spec's exit churn (the paper's
   /// model ejects instantaneously; enable for the churn ablation).
   bool use_churn_limit = false;

@@ -463,6 +463,301 @@ void register_slot_protocol(ScenarioRegistry& r) {
   });
 }
 
+// --- balancing-attack ---------------------------------------------------
+// The classic Neu/Tas/Tse balancing attack on LMD-GHOST, driven through
+// the slot-level protocol simulator's proposer-equivocation strategy.
+
+void register_balancing_attack(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "balancing-attack",
+      "Balancing attack on LMD-GHOST (proposer equivocation splits the "
+      "honest head votes across two sibling blocks; Byzantine attesters "
+      "keep the fork balanced without slashable votes), measuring how "
+      "long the balanced fork stalls finality vs the Section 5 leak "
+      "trigger; sweep n_byzantine x delta");
+  spec.add_int("paths", "independent simulation trials", 8, 1, 1e6)
+      .add_int("n_honest", "honest validators", 32, 2, 4096)
+      .add_int("n_byzantine", "Byzantine (equivocating) validators", 8, 1,
+               4096)
+      .add_int("epochs", "horizon in epochs", 16, 1, 256)
+      .add_double("delta", "network delay bound in seconds", 1.0, 0.0, 60.0)
+      .add_int("seed", "master RNG seed", 42)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    sim::SlotSimConfig base;
+    base.n_honest = static_cast<std::uint32_t>(p.get_int("n_honest"));
+    base.n_byzantine = static_cast<std::uint32_t>(p.get_int("n_byzantine"));
+    base.epochs = static_cast<std::size_t>(p.get_int("epochs"));
+    base.delta = p.get_double("delta");
+    base.proposer_strategy = sim::ProposerStrategy::kBalancing;
+    const auto paths = static_cast<std::size_t>(p.get_int("paths"));
+    const StreamSeeder seeder(static_cast<std::uint64_t>(p.get_int("seed")));
+    const runner::TrialRunner pool(
+        static_cast<unsigned>(p.get_int("threads")));
+    std::vector<sim::SlotSimResult> trials(paths);
+    pool.run_blocks(paths,
+                    runner::resolve_block(
+                        static_cast<std::size_t>(p.get_int("block"))),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        sim::SlotSimConfig cfg = base;
+                        cfg.seed = seeder.seed_for(i);
+                        trials[i] = sim::SlotSim(cfg).run();
+                      }
+                    });
+
+    const double leak_trigger = static_cast<double>(
+        base.spec.min_epochs_to_inactivity_penalty);
+    RunningStats stalls, finalized, equivocations;
+    std::size_t leaks = 0;
+    std::size_t exceeds_trigger = 0;
+    double stalled_fraction_sum = 0.0;
+    Table rows({"trial", "finality_stall_epochs", "finalized_epoch",
+                "equivocating_proposals", "leak_observed",
+                "safety_violations"});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const auto& t = trials[i];
+      const double stall = static_cast<double>(t.finality_stall_epochs);
+      stalls.add(stall);
+      finalized.add(t.finalized_epoch.empty()
+                        ? 0.0
+                        : static_cast<double>(t.finalized_epoch.front()));
+      equivocations.add(static_cast<double>(t.equivocating_proposals));
+      if (t.leak_observed) ++leaks;
+      if (stall > leak_trigger) ++exceeds_trigger;
+      // Fraction of epoch boundaries without finality progress.
+      std::size_t stalled = 0;
+      std::uint64_t prev = 0;
+      for (const std::uint64_t fin : t.finalized_epoch_trajectory) {
+        if (fin > prev) {
+          prev = fin;
+        } else {
+          ++stalled;
+        }
+      }
+      stalled_fraction_sum +=
+          t.finalized_epoch_trajectory.empty()
+              ? 0.0
+              : static_cast<double>(stalled) /
+                    static_cast<double>(t.finalized_epoch_trajectory.size());
+      rows.add_row({std::to_string(i), Table::fmt_exact(stall),
+                    std::to_string(t.finalized_epoch.empty()
+                                       ? 0
+                                       : t.finalized_epoch.front()),
+                    std::to_string(t.equivocating_proposals),
+                    t.leak_observed ? "true" : "false",
+                    std::to_string(t.safety_violations)});
+    }
+    const double n = trials.empty() ? 1.0 : static_cast<double>(trials.size());
+    out->add_metric("mean_finality_stall_epochs", stalls.mean());
+    out->add_metric("max_finality_stall_epochs", stalls.max());
+    out->add_metric("stalled_epoch_fraction", stalled_fraction_sum / n);
+    out->add_metric("mean_finalized_epoch", finalized.mean());
+    out->add_metric("mean_equivocating_proposals", equivocations.mean());
+    out->add_metric("leak_observed_fraction",
+                    static_cast<double>(leaks) / n);
+    out->add_metric("leak_trigger_epochs", leak_trigger);
+    out->add_metric("stall_exceeds_leak_trigger_fraction",
+                    static_cast<double>(exceeds_trigger) / n);
+    out->add_stats("finality_stall_epochs", stalls);
+    out->trials = std::move(rows);
+  });
+}
+
+// --- semiactive-sweep ---------------------------------------------------
+// Duty-cycled 1/m Byzantine rotation over m >= 2 branches: the
+// analytic::multibranch_* closed forms cross-checked by run_bouncing_mc
+// on the branch-level exceedance criterion.
+
+void register_semiactive_sweep(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "semiactive-sweep",
+      "Semi-active leak generalized to a 1/m duty-cycle rotation over "
+      "m >= 2 branches: closed-form beta_max, supermajority-recovery "
+      "epoch and minimum beta0 (analytic::multibranch_*), cross-checked "
+      "by a run_bouncing_mc Monte Carlo of the branch-level exceedance "
+      "criterion; sweep branches x beta0");
+  spec.add_int("branches", "rotation branches m (2 = paper's semi-active)",
+               2, 2, 16)
+      .add_double("beta0", "Byzantine stake proportion", 0.33, 0.0, 0.5)
+      .add_int("paths", "Monte Carlo paths for the cross-check", 2000, 1,
+               1e9)
+      .add_int("epochs", "Monte Carlo horizon in epochs", 4024, 4, 1e7)
+      .add_int("seed", "master RNG seed", 7)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "paths per scheduled block (0 = auto)", 0, 0, 1e9);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    const auto cfg = analytic::AnalyticConfig::paper();
+    const auto m = static_cast<unsigned>(p.get_int("branches"));
+    const double beta0 = p.get_double("beta0");
+
+    // Closed forms.
+    const double beta_max = analytic::multibranch_beta_max(m, beta0, cfg);
+    const double sm_epoch =
+        analytic::multibranch_supermajority_epoch(m, beta0, cfg);
+    out->add_metric("beta_max", beta_max);
+    out->add_metric("supermajority_recovery_epoch", sm_epoch);
+    out->add_metric("beta0_lower_bound",
+                    analytic::multibranch_beta0_lower_bound(m, cfg));
+    out->add_metric("duty_cycle_slope", analytic::duty_cycle_slope(m, cfg));
+    out->add_metric("byz_ejection_epoch",
+                    analytic::duty_cycle_ejection_epoch(m, cfg));
+
+    // Monte Carlo cross-check: honest validators bounce with
+    // p0 = 1/m; the exceedance criterion uses the duty-cycled
+    // Byzantine reference stake on one branch.
+    bouncing::McConfig mc;
+    mc.branches = m;
+    mc.p0 = 1.0 / static_cast<double>(m);
+    mc.beta0 = beta0;
+    mc.paths = static_cast<std::size_t>(p.get_int("paths"));
+    mc.epochs = static_cast<std::size_t>(p.get_int("epochs"));
+    mc.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    mc.threads = static_cast<unsigned>(p.get_int("threads"));
+    mc.block = static_cast<std::size_t>(p.get_int("block"));
+    mc.keep_paths = false;  // summaries only
+    std::vector<std::size_t> snaps;
+    for (const std::size_t q : {1ul, 2ul, 3ul, 4ul}) {
+      const std::size_t e = mc.epochs * q / 4;
+      if (e > 0 && (snaps.empty() || e > snaps.back())) snaps.push_back(e);
+    }
+    const auto res = bouncing::run_bouncing_mc(mc, snaps);
+
+    Table rows({"epoch", "ejected_fraction", "prob_beta_exceeds",
+                "mean_stake", "exceed_threshold"});
+    for (std::size_t k = 0; k < res.epochs.size(); ++k) {
+      rows.add_row(
+          {std::to_string(res.epochs[k]),
+           Table::fmt_exact(res.ejected_fraction[k]),
+           Table::fmt_exact(res.prob_beta_exceeds[k]),
+           Table::fmt_exact(res.stake_stats[k].mean()),
+           Table::fmt_exact(analytic::multibranch_exceed_threshold(
+               m, beta0, static_cast<double>(res.epochs[k]), cfg))});
+    }
+    out->trials = std::move(rows);
+
+    const std::size_t last = res.epochs.size() - 1;
+    out->add_metric("mc_prob_beta_exceeds", res.prob_beta_exceeds[last]);
+    out->add_metric("mc_ejected_fraction", res.ejected_fraction[last]);
+    out->add_metric("mc_mean_stake", res.stake_stats[last].mean());
+    // Agreement indicator: when the closed-form beta_max clears 1/3 the
+    // Monte Carlo exceedance probability should approach 1 by the
+    // ejection horizon (and stay near 0 otherwise).
+    out->add_metric("analytic_predicts_exceed",
+                    beta_max > 1.0 / 3.0 ? 1.0 : 0.0);
+    out->add_stats("final_stake", res.stake_stats[last]);
+  });
+}
+
+// --- multi-partition-recovery -------------------------------------------
+// k >= 2 partition branches healing pairwise at staggered GSTs, with
+// the post-leak recovery tail validated against analytic::recovery.
+
+void register_multi_partition_recovery(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "multi-partition-recovery",
+      "Partition into k branches healing pairwise at staggered GSTs "
+      "(branch b merges at heal_epoch + (b-1) * heal_stagger): "
+      "randomized-split trials of the epoch-granular simulator, "
+      "measuring conflicting finalization, the recovery tail after "
+      "finality resumes, and the residual losses vs the "
+      "analytic::recovery closed form; sweep branches x heal_stagger");
+  spec.add_int("paths", "randomized-split trials", 16, 1, 1e9)
+      .add_int("n_validators", "total validators", 400, 2, 1e6)
+      .add_double("beta0", "Byzantine stake proportion", 0.0, 0.0, 0.5)
+      .add_double("p0",
+                  "honest proportion on branch 1 (two-branch case only)",
+                  0.5, 0.0, 1.0)
+      .add_string("strategy", "Byzantine strategy during the partition",
+                  "honest", {"honest", "slashable", "semiactive", "overthrow"})
+      .add_int("branches", "partition branches k", 3, 2, 64)
+      .add_int("heal_epoch", "first pairwise heal epoch (0 = never heal)",
+               2000, 0, 1e7)
+      .add_int("heal_stagger", "epochs between successive pairwise heals",
+               500, 0, 1e7)
+      .add_int("max_epochs", "horizon in epochs", 8000, 1, 1e7)
+      .add_int("seed", "master RNG seed", 2024)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    sim::PartitionTrialsConfig cfg;
+    cfg.base.n_validators =
+        static_cast<std::uint32_t>(p.get_int("n_validators"));
+    cfg.base.beta0 = p.get_double("beta0");
+    cfg.base.p0 = p.get_double("p0");
+    cfg.base.strategy = strategy_from_name(p.get_string("strategy"));
+    cfg.base.branches = static_cast<std::uint32_t>(p.get_int("branches"));
+    cfg.base.heal_epoch = static_cast<std::size_t>(p.get_int("heal_epoch"));
+    cfg.base.heal_stagger =
+        static_cast<std::size_t>(p.get_int("heal_stagger"));
+    cfg.base.max_epochs = static_cast<std::size_t>(p.get_int("max_epochs"));
+    // Trajectories are per-epoch bulk the trials never read; sample at
+    // the horizon only.
+    cfg.base.trajectory_stride = cfg.base.max_epochs;
+    cfg.trials = static_cast<std::size_t>(p.get_int("paths"));
+    cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    cfg.block = static_cast<std::size_t>(p.get_int("block"));
+    const auto res = sim::run_partition_trials(cfg);
+
+    out->add_metric("conflicting_fraction", res.conflicting_fraction);
+    out->add_metric("beta_exceeded_fraction", res.beta_exceeded_fraction);
+    out->add_metric("mean_conflict_epoch", res.mean_conflict_epoch);
+    out->add_metric("recovered_fraction", res.recovered_fraction);
+    out->add_metric("mean_residual_loss_eth", res.mean_residual_loss_eth);
+    out->add_metric("mean_recovery_epoch", res.mean_recovery_epoch);
+
+    // Deterministic closed-form cross-check: the even-split run's
+    // homogeneous classes let analytic::residual_loss be compared
+    // per validator against the sim's exact-arithmetic recovery tail.
+    const auto det = sim::run_partition_sim(cfg.base);
+    out->add_metric("det_heal_complete_epoch",
+                    static_cast<double>(det.heal_complete_epoch));
+    out->add_metric("det_recovery_complete_epoch",
+                    static_cast<double>(det.recovery_complete_epoch));
+    out->add_metric("det_residual_loss_total_eth",
+                    det.residual_loss_total_eth);
+    const sim::RecoveryOutcome* worst = nullptr;
+    for (const auto& rec : det.recovery) {
+      // Only classes whose recovery finished inside the horizon have a
+      // measured residual to compare against the closed form.
+      if (rec.return_epoch < 0 || rec.recovery_epochs < 0) continue;
+      if (worst == nullptr || rec.score_at_return > worst->score_at_return) {
+        worst = &rec;
+      }
+    }
+    if (worst != nullptr) {
+      const auto acfg = analytic::AnalyticConfig::paper();
+      const double closed = analytic::residual_loss(
+          worst->score_at_return, worst->stake_at_return_eth, acfg);
+      out->add_metric("det_worst_class_score_at_return",
+                      worst->score_at_return);
+      out->add_metric("det_worst_class_residual_loss_eth",
+                      worst->residual_loss_eth);
+      out->add_metric("det_worst_class_residual_loss_closed_eth", closed);
+      out->add_metric("det_recovery_closed_form_abs_err",
+                      std::fabs(closed - worst->residual_loss_eth));
+    }
+
+    RunningStats peaks;
+    Table rows({"trial", "conflict_epoch", "beta_peak", "residual_loss_eth",
+                "recovery_epoch"});
+    for (std::size_t i = 0; i < res.conflict_epochs.size(); ++i) {
+      peaks.add(res.beta_peaks[i]);
+      rows.add_row({std::to_string(i), std::to_string(res.conflict_epochs[i]),
+                    Table::fmt_exact(res.beta_peaks[i]),
+                    Table::fmt_exact(res.residual_losses_eth[i]),
+                    std::to_string(res.recovery_epochs[i])});
+    }
+    out->add_stats("beta_peak", peaks);
+    RunningStats losses;
+    for (const double l : res.residual_losses_eth) losses.add(l);
+    out->add_stats("residual_loss_eth", losses);
+    out->trials = std::move(rows);
+  });
+}
+
 // --- table1 -------------------------------------------------------------
 
 void register_table1(ScenarioRegistry& r) {
@@ -500,6 +795,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   register_recovery(registry);
   register_slot_protocol(registry);
   register_table1(registry);
+  register_balancing_attack(registry);
+  register_semiactive_sweep(registry);
+  register_multi_partition_recovery(registry);
 }
 
 }  // namespace leak::scenario

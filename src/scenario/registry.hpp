@@ -63,7 +63,8 @@ class ScenarioRegistry {
 
 /// The process-wide registry pre-loaded with the built-in scenarios
 /// (bouncing-mc, attack-lifetime, population-ensemble,
-/// partition-trials, duty-cycle, recovery, slot-protocol, table1).
+/// partition-trials, duty-cycle, recovery, slot-protocol, table1,
+/// balancing-attack, semiactive-sweep, multi-partition-recovery).
 /// Construct-on-first-use; safe to call from multiple threads after
 /// first use, but intended to be touched from main-thread setup code.
 [[nodiscard]] ScenarioRegistry& builtin_registry();

@@ -1,5 +1,6 @@
 #include "src/sim/partition_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -10,6 +11,8 @@
 namespace leak::sim {
 
 namespace {
+
+constexpr double kGweiPerEth = 1e9;
 
 /// Does the Byzantine stake count toward the active side of the branch's
 /// ratio (Eqs 8 and 10 count it; Eq 5 has none)?
@@ -24,6 +27,9 @@ void validate(const PartitionSimConfig& cfg) {
   if (cfg.beta0 < 0.0 || cfg.beta0 >= 1.0 || cfg.p0 < 0.0 || cfg.p0 > 1.0) {
     throw std::invalid_argument("run_partition_sim: bad proportions");
   }
+  if (cfg.branches < 2 || cfg.branches > cfg.n_validators) {
+    throw std::invalid_argument("run_partition_sim: bad branch count");
+  }
 }
 
 /// Byzantine validator count implied by the configured proportion.
@@ -33,36 +39,69 @@ std::uint32_t byzantine_count(const PartitionSimConfig& cfg) {
 }
 
 /// Core scenario run over an explicit per-honest-validator branch
-/// assignment (honest indices [0, n_honest); branch_of_honest[i] is 0
-/// or 1).  Byzantine validators occupy indices [n_honest, n).
+/// assignment (honest indices [0, n_honest); branch_of_honest[i] in
+/// [0, branches)).  Byzantine validators occupy indices [n_honest, n).
 PartitionSimResult run_partition_core(
     const PartitionSimConfig& cfg, std::uint32_t n_byz,
     const std::vector<std::uint8_t>& branch_of_honest) {
   const auto n = cfg.n_validators;
   const auto n_honest = n - n_byz;
-  std::uint32_t n_h1 = 0;
-  for (const std::uint8_t b : branch_of_honest) {
-    if (b == 0) ++n_h1;
-  }
+  const auto k = cfg.branches;
 
   PartitionSimResult res;
+  res.branch.resize(k);
   res.n_byzantine = n_byz;
-  res.n_honest_branch1 = n_h1;
-  res.n_honest_branch2 = n_honest - n_h1;
+  res.n_honest_per_branch.assign(k, 0);
+  for (const std::uint8_t b : branch_of_honest) {
+    ++res.n_honest_per_branch[b];
+  }
+  res.n_honest_branch1 = res.n_honest_per_branch[0];
+  res.n_honest_branch2 = k > 1 ? res.n_honest_per_branch[1] : 0;
 
-  // One registry view and tracker per branch.
-  std::array<chain::ValidatorRegistry, 2> registry{
-      chain::ValidatorRegistry{n}, chain::ValidatorRegistry{n}};
-  std::array<penalties::InactivityTracker, 2> tracker{
-      penalties::InactivityTracker{registry[0], cfg.spec},
-      penalties::InactivityTracker{registry[1], cfg.spec}};
+  // Healing: branch b >= 1 merges into branch 0 at the start of epoch
+  // heal_epoch + (b-1) * heal_stagger; from then on its honest class
+  // attests on branch 0 and the branch itself is frozen.
+  const bool healing = cfg.heal_epoch > 0;
+  const auto heal_at = [&](std::uint32_t b) -> std::size_t {
+    return cfg.heal_epoch +
+           static_cast<std::size_t>(b - 1) * cfg.heal_stagger;
+  };
+  std::vector<std::uint8_t> healed(k, 0);
+
+  // One registry view and tracker per branch.  With healing enabled the
+  // trackers use the real-spec penalty gate (score > 0 keeps paying
+  // after finalization resumes) so the recovery tail matches
+  // analytic::recovery; without healing the legacy leak-only gate keeps
+  // every two-branch result bit-identical.
+  penalties::SpecConfig spec = cfg.spec;
+  if (healing) spec.inactivity_penalty_tracks_score = true;
+  std::vector<chain::ValidatorRegistry> registry(
+      k, chain::ValidatorRegistry{n});
+  std::vector<penalties::InactivityTracker> tracker;
+  tracker.reserve(k);
+  for (std::uint32_t b = 0; b < k; ++b) {
+    tracker.emplace_back(registry[b], spec);
+  }
 
   const auto is_byz = [&](std::uint32_t i) { return i >= n_honest; };
-  const auto honest_branch = [&](std::uint32_t i) -> int {
-    return branch_of_honest[i];
-  };
 
-  std::array<bool, 2> leak_over = {false, false};
+  std::vector<std::uint8_t> leak_over(k, 0);
+  std::int64_t leak_end_epoch = -1;  ///< branch-0 finalization (with heals)
+
+  // Recovery bookkeeping: one pending outcome per honest class that is
+  // due to return (branches 1..k-1), plus the branch-wide totals.
+  std::vector<RecoveryOutcome> pending(k);
+  std::vector<std::uint32_t> representative(k, n);  // n = no member
+  for (std::uint32_t i = 0; i < n_honest; ++i) {
+    const std::uint8_t b = branch_of_honest[i];
+    if (representative[b] == n) representative[b] = i;
+  }
+  for (std::uint32_t b = 0; b < k; ++b) {
+    pending[b].from_branch = b;
+    pending[b].class_size = res.n_honest_per_branch[b];
+  }
+  bool recovery_totals_recorded = false;
+  Gwei recovery_total_start{};
 
   // Reused across every (epoch, branch) pair: each pass assigns every
   // index, so hoisting the buffer out of the hot loop removes one
@@ -71,14 +110,65 @@ PartitionSimResult run_partition_core(
 
   for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
     const Epoch epoch{t};
-    for (int b = 0; b < 2; ++b) {
-      if (leak_over[static_cast<std::size_t>(b)]) continue;
-      auto& reg = registry[static_cast<std::size_t>(b)];
-      auto& out = res.branch[static_cast<std::size_t>(b)];
+    if (healing) {
+      for (std::uint32_t b = 1; b < k; ++b) {
+        if (healed[b] == 0 && t >= heal_at(b)) {
+          healed[b] = 1;
+          res.branch[b].healed_epoch = static_cast<std::int64_t>(t);
+          pending[b].healed_epoch = static_cast<std::int64_t>(t);
+          if (std::all_of(healed.begin() + 1, healed.end(),
+                          [](std::uint8_t h) { return h != 0; })) {
+            res.heal_complete_epoch = static_cast<std::int64_t>(t);
+          }
+        }
+      }
+    }
+    const bool all_healed = healing && res.heal_complete_epoch >= 0;
+
+    for (std::uint32_t b = 0; b < k; ++b) {
+      if (leak_over[b] != 0) continue;
+      if (b > 0 && healed[b] != 0) continue;
+      if (b == 0 && res.recovery_complete_epoch >= 0) continue;
+      auto& reg = registry[b];
+      auto& out = res.branch[b];
+      /// Branch 0 is past finalization and in the recovery tail.
+      const bool recovering = b == 0 && leak_end_epoch >= 0;
+
+      // On the canonical branch, snapshot each returned class the first
+      // epoch it recovers (healed and leak over), before this epoch's
+      // penalties: the tail from here is exactly the
+      // analytic::residual_loss recurrence.
+      if (recovering) {
+        for (std::uint32_t c = 1; c < k; ++c) {
+          auto& rec = pending[c];
+          if (rec.return_epoch >= 0 || rec.ejected_before_return) continue;
+          if (healed[c] == 0 || representative[c] == n) continue;
+          const ValidatorIndex v{representative[c]};
+          if (!reg.is_active(v, epoch)) {
+            rec.ejected_before_return = true;
+            continue;
+          }
+          rec.return_epoch = static_cast<std::int64_t>(t);
+          rec.score_at_return =
+              static_cast<double>(reg.at(v).inactivity_score);
+          rec.stake_at_return_eth =
+              static_cast<double>(reg.at(v).balance.value()) / kGweiPerEth;
+        }
+        if (!recovery_totals_recorded) {
+          recovery_totals_recorded = true;
+          for (std::uint32_t i = 0; i < n; ++i) {
+            recovery_total_start += reg.at(ValidatorIndex{i}).balance;
+          }
+        }
+      }
 
       // Activity on branch b this epoch.
       for (std::uint32_t i = 0; i < n; ++i) {
         if (is_byz(i)) {
+          if (recovering) {
+            active[i] = true;  // the partition is over; everyone attests
+            continue;
+          }
           switch (cfg.strategy) {
             case Strategy::kNone:
               active[i] = false;  // unreachable unless beta0 rounds to 0 byz
@@ -88,17 +178,22 @@ PartitionSimResult run_partition_core(
               break;
             case Strategy::kSemiActiveFinalize:
             case Strategy::kSemiActiveOverthrow:
-              active[i] = (t % 2 == static_cast<std::size_t>(b));
+              active[i] = (t % k == b);
               break;
           }
         } else {
-          active[i] = honest_branch(i) == b;
+          const std::uint8_t bi = branch_of_honest[i];
+          active[i] = bi == b || (b == 0 && healed[bi] != 0);
         }
       }
 
-      // Penalties for this epoch (leak active: nothing finalized since 0).
-      const auto report = tracker[static_cast<std::size_t>(b)].process_epoch(
-          epoch, Epoch{0}, active);
+      // Penalties for this epoch.  During the partition nothing has
+      // finalized since genesis; once branch 0 finalizes, finality
+      // advances every epoch and the tracker leaves the leak.
+      const Epoch last_finalized =
+          recovering ? Epoch{t - 1} : Epoch{0};
+      const auto report =
+          tracker[b].process_epoch(epoch, last_finalized, active);
       if (out.honest_ejection_epoch < 0) {
         for (const ValidatorIndex v : report.ejected) {
           if (!is_byz(v.value())) {
@@ -120,9 +215,12 @@ PartitionSimResult run_partition_core(
         const Gwei bal = reg.at(v).balance;
         if (is_byz(i)) {
           byz_side += bal;
-          if (byzantine_counts_active(cfg.strategy)) active_side += bal;
-        } else if (honest_branch(i) == b) {
-          active_side += bal;
+          if (recovering || byzantine_counts_active(cfg.strategy)) {
+            active_side += bal;
+          }
+        } else {
+          const std::uint8_t bi = branch_of_honest[i];
+          if (bi == b || (b == 0 && healed[bi] != 0)) active_side += bal;
         }
       }
       const double beta =
@@ -151,28 +249,127 @@ PartitionSimResult run_partition_core(
       if (supermajority && out.supermajority_epoch < 0) {
         out.supermajority_epoch = static_cast<std::int64_t>(t);
       }
+      // The overthrow strategy withholds the finalizing votes — but once
+      // every branch has healed there is a single component whose honest
+      // supermajority finalizes without Byzantine help.
       const bool wants_finalize =
-          cfg.strategy != Strategy::kSemiActiveOverthrow;
+          cfg.strategy != Strategy::kSemiActiveOverthrow ||
+          (b == 0 && all_healed);
       if (wants_finalize && out.supermajority_epoch >= 0 &&
           out.finalization_epoch < 0 &&
           t > static_cast<std::size_t>(out.supermajority_epoch)) {
         // One extra epoch of supermajority justifies the next checkpoint
         // and finalizes the previous one (Section 5.1).
         out.finalization_epoch = static_cast<std::int64_t>(t);
-        leak_over[static_cast<std::size_t>(b)] = true;
+        if (b == 0 && healing) {
+          // The canonical branch stays live: the recovery tail starts
+          // next epoch.
+          leak_end_epoch = static_cast<std::int64_t>(t);
+        } else {
+          leak_over[b] = 1;
+        }
+      }
+
+      // Recovery-tail bookkeeping on the canonical branch.
+      if (recovering) {
+        for (std::uint32_t c = 1; c < k; ++c) {
+          auto& rec = pending[c];
+          if (rec.return_epoch < 0 || rec.recovery_epochs >= 0) continue;
+          const ValidatorIndex v{representative[c]};
+          const bool done = !reg.is_active(v, Epoch{t + 1}) ||
+                            reg.at(v).inactivity_score == 0;
+          if (done) {
+            rec.recovery_epochs =
+                static_cast<std::int64_t>(t) - rec.return_epoch + 1;
+            rec.residual_loss_eth =
+                rec.stake_at_return_eth -
+                static_cast<double>(reg.at(v).balance.value()) / kGweiPerEth;
+          }
+        }
+        if (all_healed && res.recovery_complete_epoch < 0) {
+          bool all_zero = true;
+          for (std::uint32_t i = 0; i < n && all_zero; ++i) {
+            const ValidatorIndex v{i};
+            if (reg.is_active(v, Epoch{t + 1}) &&
+                reg.at(v).inactivity_score > 0) {
+              all_zero = false;
+            }
+          }
+          if (all_zero) {
+            res.recovery_complete_epoch = static_cast<std::int64_t>(t);
+          }
+        }
       }
     }
-    if (leak_over[0] && leak_over[1]) break;
+
+    bool all_done = true;
+    for (std::uint32_t b = 0; b < k; ++b) {
+      if (b == 0) {
+        const bool done0 = healing ? res.recovery_complete_epoch >= 0
+                                   : leak_over[0] != 0;
+        all_done = all_done && done0;
+      } else {
+        all_done = all_done && (leak_over[b] != 0 || healed[b] != 0);
+      }
+    }
+    if (all_done) break;
   }
 
-  const auto f1 = res.branch[0].finalization_epoch;
-  const auto f2 = res.branch[1].finalization_epoch;
-  if (f1 >= 0 && f2 >= 0) {
-    res.conflicting_finalization_epoch = std::max(f1, f2);
+  // Total recovery-tail loss across the whole validator set (exited
+  // validators keep their frozen balance, so the sum is loss-exact).
+  if (recovery_totals_recorded) {
+    Gwei now{};
+    for (std::uint32_t i = 0; i < n; ++i) {
+      now += registry[0].at(ValidatorIndex{i}).balance;
+    }
+    res.residual_loss_total_eth =
+        static_cast<double>(recovery_total_start.value() - now.value()) /
+        kGweiPerEth;
   }
-  res.beta_exceeded_third_both = res.branch[0].beta_peak > 1.0 / 3.0 &&
-                                 res.branch[1].beta_peak > 1.0 / 3.0;
+  for (std::uint32_t b = 1; b < k; ++b) {
+    if (pending[b].healed_epoch >= 0 || pending[b].ejected_before_return) {
+      res.recovery.push_back(pending[b]);
+    }
+  }
+
+  // Conflicting finalization: the epoch the second branch finalized a
+  // checkpoint conflicting with another branch's (for two branches:
+  // max(f1, f2), the legacy definition).
+  std::vector<std::int64_t> finals;
+  for (const auto& br : res.branch) {
+    if (br.finalization_epoch >= 0) finals.push_back(br.finalization_epoch);
+  }
+  if (finals.size() >= 2) {
+    std::sort(finals.begin(), finals.end());
+    res.conflicting_finalization_epoch = finals[1];
+  }
+  res.beta_exceeded_third_both =
+      std::all_of(res.branch.begin(), res.branch.end(),
+                  [](const BranchOutcome& br) {
+                    return br.beta_peak > 1.0 / 3.0;
+                  });
   return res;
+}
+
+/// Deterministic honest split: branch 1 gets round(p0 * n_honest) for
+/// the two-branch case (the legacy split); k > 2 splits into
+/// equal-size contiguous chunks.
+std::vector<std::uint8_t> deterministic_split(const PartitionSimConfig& cfg,
+                                              std::uint32_t n_honest) {
+  std::vector<std::uint8_t> branch_of_honest(n_honest, 1);
+  if (cfg.branches == 2) {
+    const auto n_h1 = static_cast<std::uint32_t>(
+        std::llround(cfg.p0 * static_cast<double>(n_honest)));
+    for (std::uint32_t i = 0; i < std::min(n_h1, n_honest); ++i) {
+      branch_of_honest[i] = 0;
+    }
+  } else {
+    for (std::uint32_t i = 0; i < n_honest; ++i) {
+      branch_of_honest[i] = static_cast<std::uint8_t>(
+          (static_cast<std::uint64_t>(i) * cfg.branches) / n_honest);
+    }
+  }
+  return branch_of_honest;
 }
 
 }  // namespace
@@ -181,11 +378,7 @@ PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
   validate(cfg);
   const auto n_byz = byzantine_count(cfg);
   const auto n_honest = cfg.n_validators - n_byz;
-  const auto n_h1 = static_cast<std::uint32_t>(
-      std::llround(cfg.p0 * static_cast<double>(n_honest)));
-  std::vector<std::uint8_t> branch_of_honest(n_honest, 1);
-  for (std::uint32_t i = 0; i < n_h1; ++i) branch_of_honest[i] = 0;
-  return run_partition_core(cfg, n_byz, branch_of_honest);
+  return run_partition_core(cfg, n_byz, deterministic_split(cfg, n_honest));
 }
 
 PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
@@ -195,6 +388,7 @@ PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
   }
   const auto n_byz = byzantine_count(cfg.base);
   const auto n_honest = cfg.base.n_validators - n_byz;
+  const auto k = cfg.base.branches;
 
   // Block-scheduled fan-out straight into the result's preallocated
   // slabs: only the scalars the trials aggregate survive a trial,
@@ -207,6 +401,8 @@ PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
   res.trials = cfg.trials;
   res.conflict_epochs.assign(cfg.trials, -1);
   res.beta_peaks.assign(cfg.trials, 0.0);
+  res.residual_losses_eth.assign(cfg.trials, 0.0);
+  res.recovery_epochs.assign(cfg.trials, -1);
   std::vector<std::uint8_t> exceeded_both(cfg.trials, 0);
   pool.run_blocks(
       cfg.trials, runner::resolve_block(cfg.block),
@@ -215,25 +411,40 @@ PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
         for (std::size_t trial = begin; trial < end; ++trial) {
           Rng rng = seeder.stream(trial);
           for (std::uint32_t i = 0; i < n_honest; ++i) {
-            branch_of_honest[i] = rng.bernoulli(cfg.base.p0) ? 0 : 1;
+            // Two branches keep the legacy bernoulli(p0) draw exactly;
+            // k > 2 assigns uniformly over the branches.
+            branch_of_honest[i] =
+                k == 2 ? (rng.bernoulli(cfg.base.p0) ? 0 : 1)
+                       : static_cast<std::uint8_t>(rng.uniform_index(k));
           }
           const auto r = run_partition_core(cfg.base, n_byz, branch_of_honest);
           res.conflict_epochs[trial] = r.conflicting_finalization_epoch;
-          res.beta_peaks[trial] =
-              std::max(r.branch[0].beta_peak, r.branch[1].beta_peak);
+          double peak = 0.0;
+          for (const auto& br : r.branch) peak = std::max(peak, br.beta_peak);
+          res.beta_peaks[trial] = peak;
           exceeded_both[trial] = r.beta_exceeded_third_both ? 1 : 0;
+          res.residual_losses_eth[trial] = r.residual_loss_total_eth;
+          res.recovery_epochs[trial] = r.recovery_complete_epoch;
         }
       });
 
   std::size_t conflicting = 0;
   std::size_t exceeded = 0;
+  std::size_t recovered = 0;
   double conflict_epoch_sum = 0.0;
+  double residual_sum = 0.0;
+  double recovery_epoch_sum = 0.0;
   for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
     if (res.conflict_epochs[trial] >= 0) {
       ++conflicting;
       conflict_epoch_sum += static_cast<double>(res.conflict_epochs[trial]);
     }
     if (exceeded_both[trial] != 0) ++exceeded;
+    residual_sum += res.residual_losses_eth[trial];
+    if (res.recovery_epochs[trial] >= 0) {
+      ++recovered;
+      recovery_epoch_sum += static_cast<double>(res.recovery_epochs[trial]);
+    }
   }
   const double n = static_cast<double>(cfg.trials);
   res.conflicting_fraction = static_cast<double>(conflicting) / n;
@@ -241,6 +452,11 @@ PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
   res.mean_conflict_epoch =
       conflicting > 0 ? conflict_epoch_sum / static_cast<double>(conflicting)
                       : 0.0;
+  res.recovered_fraction = static_cast<double>(recovered) / n;
+  res.mean_residual_loss_eth = residual_sum / n;
+  res.mean_recovery_epoch =
+      recovered > 0 ? recovery_epoch_sum / static_cast<double>(recovered)
+                    : 0.0;
   return res;
 }
 

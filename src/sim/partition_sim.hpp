@@ -1,17 +1,23 @@
 // Epoch-granular agent simulation of the partition scenarios of
-// Section 5 (5.1, 5.2.1, 5.2.2, 5.2.3).
+// Section 5 (5.1, 5.2.1, 5.2.2, 5.2.3), generalized to k >= 2 branches
+// with a pairwise heal schedule (staggered GSTs).
 //
-// Two branches grow independently during the partition; each branch has
+// Branches grow independently during the partition; each branch has
 // its own registry view (stakes, scores, ejections are branch-relative —
 // Section 4.1: "if there are multiple branches, a validator's inactivity
 // score depends on the selected branch").  Honest validators are active
 // on exactly one branch; Byzantine validators behave per the configured
-// strategy.  The simulator uses the exact protocol arithmetic of
-// leak_penalties (integer Gwei, floored scores), so it cross-validates
-// the continuous closed forms of leak_analytic.
+// strategy.  With a heal schedule, branch b merges into the canonical
+// branch 0 at epoch heal_epoch + (b-1) * heal_stagger; its honest
+// validators then attest on branch 0, their scores drain, and — once
+// finalization resumes — the simulator tracks the post-leak recovery
+// tail (the Figure 3 "penalties take some time to return to zero"
+// effect) that analytic::recovery models in closed form.  The simulator
+// uses the exact protocol arithmetic of leak_penalties (integer Gwei,
+// floored scores), so it cross-validates the continuous closed forms of
+// leak_analytic.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -33,12 +39,26 @@ enum class Strategy : std::uint8_t {
 struct PartitionSimConfig {
   std::uint32_t n_validators = 1000;
   double beta0 = 0.0;  ///< Byzantine stake proportion
-  double p0 = 0.5;     ///< honest proportion on branch 1
+  /// Honest proportion on branch 1 (two-branch case).  With
+  /// branches > 2 the deterministic split is even and p0 is ignored.
+  double p0 = 0.5;
   Strategy strategy = Strategy::kNone;
   std::size_t max_epochs = 6000;
   penalties::SpecConfig spec = penalties::SpecConfig::paper();
   /// Record the active-stake ratio every `trajectory_stride` epochs.
   std::size_t trajectory_stride = 8;
+  /// Number of partition branches k >= 2.  The paper's Section 5
+  /// scenarios are branches = 2 (the default); every two-branch result
+  /// is bit-identical to the pre-generalization simulator.
+  std::uint32_t branches = 2;
+  /// First pairwise heal epoch (the GST of branch 1 merging into
+  /// branch 0); 0 disables healing and the branches stay partitioned
+  /// for the whole horizon, exactly the legacy behaviour.
+  std::size_t heal_epoch = 0;
+  /// Gap between successive pairwise heals: branch b (b >= 1) merges
+  /// into branch 0 at heal_epoch + (b - 1) * heal_stagger.  With
+  /// stagger 0 every branch heals at heal_epoch simultaneously.
+  std::size_t heal_stagger = 0;
 };
 
 /// Per-branch outcome.
@@ -57,19 +77,60 @@ struct BranchOutcome {
   std::vector<double> ratio_trajectory;
   /// Sampled Byzantine-proportion trajectory.
   std::vector<double> beta_trajectory;
+  /// Epoch the branch merged into branch 0; -1 when it never healed.
+  std::int64_t healed_epoch = -1;
+};
+
+/// Post-leak recovery of one healed honest class (the validators that
+/// sat out branch 0 until their branch merged), per-validator: every
+/// member of a class shares the same activity history, so one
+/// representative describes the whole class.
+struct RecoveryOutcome {
+  std::uint32_t from_branch = 0;   ///< branch the class came from
+  std::uint32_t class_size = 0;    ///< honest validators in the class
+  std::int64_t healed_epoch = -1;  ///< when the class merged
+  /// First epoch of the post-leak recovery (both healed and the leak
+  /// over); -1 when the leak never ended within the horizon.
+  std::int64_t return_epoch = -1;
+  /// True when the class was ejected on branch 0 before it could heal.
+  bool ejected_before_return = false;
+  /// Protocol inactivity score at the start of the recovery.
+  double score_at_return = 0.0;
+  /// Balance at the start of the recovery, ETH.
+  double stake_at_return_eth = 0.0;
+  /// Balance lost after the leak ended (score > 0 keeps inflicting
+  /// Eq 2 penalties while draining at decrement + recovery rate), ETH
+  /// per validator.  analytic::residual_loss is the closed form.
+  double residual_loss_eth = 0.0;
+  /// Epochs from return until the class score reached zero; -1 when
+  /// the horizon cut the recovery short.
+  std::int64_t recovery_epochs = -1;
 };
 
 struct PartitionSimResult {
-  std::array<BranchOutcome, 2> branch;
-  /// Epoch at which both branches had finalized conflicting checkpoints;
+  /// One outcome per branch (size = config.branches).
+  std::vector<BranchOutcome> branch;
+  /// Epoch at which two branches had finalized conflicting checkpoints;
   /// -1 when not reached within the horizon.
   std::int64_t conflicting_finalization_epoch = -1;
-  /// Whether Byzantine proportion exceeded 1/3 on both branches.
+  /// Whether Byzantine proportion exceeded 1/3 on every branch.
   bool beta_exceeded_third_both = false;
   /// Number of validators of each class (derived from config).
   std::uint32_t n_byzantine = 0;
-  std::uint32_t n_honest_branch1 = 0;
-  std::uint32_t n_honest_branch2 = 0;
+  std::uint32_t n_honest_branch1 = 0;  ///< honest on branch 0 (legacy name)
+  std::uint32_t n_honest_branch2 = 0;  ///< honest on branch 1 (legacy name)
+  std::vector<std::uint32_t> n_honest_per_branch;
+  /// Epoch the last branch merged into branch 0; -1 when healing is
+  /// disabled or the schedule ran past the horizon.
+  std::int64_t heal_complete_epoch = -1;
+  /// Epoch every alive validator's score returned to zero after the
+  /// leak ended; -1 when not reached (or healing disabled).
+  std::int64_t recovery_complete_epoch = -1;
+  /// Total balance lost across all validators after the leak ended
+  /// (the recovery tail), ETH.
+  double residual_loss_total_eth = 0.0;
+  /// Per healed honest class recovery summaries (branches 1..k-1).
+  std::vector<RecoveryOutcome> recovery;
 };
 
 /// Run the scenario.  Deterministic (no randomness needed: classes are
@@ -77,12 +138,14 @@ struct PartitionSimResult {
 PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg);
 
 /// Monte Carlo over the partition scenario: each trial redraws the
-/// honest branch assignment iid (each honest validator lands on
-/// branch 1 with probability p0) instead of using the rounded
-/// deterministic split, measuring how sensitive the Section 5
-/// outcomes are to the realised split.  Trial i always draws from the
-/// (seed, i) stream and trials merge in index order, so the result is
-/// bit-identical for any thread count.
+/// honest branch assignment iid (with branches = 2 each honest
+/// validator lands on branch 1 with probability p0, exactly the legacy
+/// draw; with branches > 2 the assignment is uniform over the k
+/// branches) instead of using the rounded deterministic split,
+/// measuring how sensitive the Section 5 outcomes are to the realised
+/// split.  Trial i always draws from the (seed, i) stream and trials
+/// merge in index order, so the result is bit-identical for any thread
+/// count.
 struct PartitionTrialsConfig {
   PartitionSimConfig base;
   std::size_t trials = 64;
@@ -95,14 +158,25 @@ struct PartitionTrialsResult {
   std::size_t trials = 0;
   /// Per trial: epoch of conflicting finalization (-1 when never).
   std::vector<std::int64_t> conflict_epochs;
-  /// Per trial: max Byzantine-proportion peak across the two branches.
+  /// Per trial: max Byzantine-proportion peak across the branches.
   std::vector<double> beta_peaks;
   /// Fraction of trials reaching conflicting finalization.
   double conflicting_fraction = 0.0;
-  /// Fraction of trials with beta > 1/3 on both branches.
+  /// Fraction of trials with beta > 1/3 on every branch.
   double beta_exceeded_fraction = 0.0;
   /// Mean conflict epoch over the trials that reached one (0 if none).
   double mean_conflict_epoch = 0.0;
+  // Recovery aggregates; all zero / empty when healing is disabled.
+  /// Per trial: total post-leak balance lost (ETH).
+  std::vector<double> residual_losses_eth;
+  /// Per trial: recovery_complete_epoch (-1 when not reached).
+  std::vector<std::int64_t> recovery_epochs;
+  /// Fraction of trials whose recovery completed within the horizon.
+  double recovered_fraction = 0.0;
+  /// Mean residual loss across all trials (ETH).
+  double mean_residual_loss_eth = 0.0;
+  /// Mean recovery-completion epoch over recovered trials (0 if none).
+  double mean_recovery_epoch = 0.0;
 };
 
 PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg);

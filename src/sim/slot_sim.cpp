@@ -1,7 +1,9 @@
 #include "src/sim/slot_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <tuple>
 #include <unordered_set>
 
 #include "src/chain/shuffle.hpp"
@@ -65,6 +67,22 @@ struct SlotSim::Impl {
   /// gossip re-propagates them once the partition heals.
   std::vector<std::pair<ValidatorIndex, std::uint64_t>> byz_withheld;
 
+  // ---- balancing attack state ---------------------------------------
+  /// Fork side of each equivocation sibling (0 / 1), plus memoized
+  /// sides of their descendants; -1 marks pre-fork (neutral) blocks.
+  std::unordered_map<Digest, int, DigestHash> side_of;
+  /// (sender, payload id, side) of the withheld cross-side proposals;
+  /// everything is released to the opposite half at the epoch boundary
+  /// (the split must be refreshed by a new equivocation each epoch).
+  std::vector<std::tuple<ValidatorIndex, std::uint64_t, int>> split_withheld;
+  /// Honest validators with index parity `side`, plus every Byzantine.
+  std::array<std::vector<ValidatorIndex>, 2> side_audiences;
+
+  [[nodiscard]] bool balancing() const {
+    return cfg.proposer_strategy == ProposerStrategy::kBalancing &&
+           cfg.n_byzantine > 0;
+  }
+
   chain::BlockTree global_tree;
   finality::SafetyMonitor monitor;
   std::unordered_set<std::uint32_t> slashed_set;
@@ -103,9 +121,39 @@ struct SlotSim::Impl {
     }
     detectors.resize(n);
     last_reported_finalized.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (is_byz(i)) {
+        side_audiences[0].push_back(ValidatorIndex{i});
+        side_audiences[1].push_back(ValidatorIndex{i});
+      } else {
+        side_audiences[i % 2].push_back(ValidatorIndex{i});
+      }
+    }
     network.set_deliver([this](ValidatorIndex to, const net::Packet& p) {
       on_deliver(to, p);
     });
+  }
+
+  /// Fork side of a block: the side of the nearest equivocation-sibling
+  /// ancestor, or -1 for pre-fork blocks.  Sides are fixed at creation,
+  /// so resolved values memoize safely.
+  int block_side(const Digest& id) {
+    std::vector<Digest> path;
+    Digest cur = id;
+    int side = -1;
+    while (true) {
+      if (const auto it = side_of.find(cur); it != side_of.end()) {
+        side = it->second;
+        break;
+      }
+      if (!global_tree.contains(cur)) break;
+      path.push_back(cur);
+      const Digest parent = global_tree.at(cur).parent;
+      if (parent == cur) break;
+      cur = parent;
+    }
+    for (const Digest& d : path) side_of[d] = side;
+    return side;
   }
 
   /// The Byzantine secondary view tracks region two; the primary view of
@@ -150,6 +198,16 @@ struct SlotSim::Impl {
       }
     };
     if (is_byz(who)) {
+      if (balancing()) {
+        // Route by fork side so each Byzantine view genuinely follows
+        // one sibling's branch; pre-fork traffic feeds both.
+        const int side = std::holds_alternative<Block>(payload)
+                             ? block_side(std::get<Block>(payload).id)
+                             : block_side(std::get<Attestation>(payload).head);
+        if (side != 1) feed(*views[who]);
+        if (side != 0) feed(*byz_alt_views[who - cfg.n_honest]);
+        return;
+      }
       // A Byzantine validator straddles the partition and receives both
       // regions' traffic; it keeps one view per region so its two
       // attestations genuinely follow the two branches.
@@ -217,6 +275,10 @@ struct SlotSim::Impl {
 
   void propose(std::uint32_t who, Slot slot) {
     if (slashed_set.contains(who)) return;
+    if (is_byz(who) && balancing()) {
+      propose_balancing(who, slot);
+      return;
+    }
     View& v = *views[who];
     const Epoch e = epoch_of(slot);
     const Digest head = head_of(v, e);
@@ -224,6 +286,44 @@ struct SlotSim::Impl {
     global_tree.insert(b);
     ingest_block(v, b);
     const auto id = store_payload(b);
+    network.broadcast(ValidatorIndex{who}, id);
+  }
+
+  /// Balancing proposer equivocation: one block per fork side, built on
+  /// that side's head (on a fresh fork both sides share the parent, so
+  /// the pair are true siblings), each released immediately to its half
+  /// of the honest validators only.  The cross-side copies are withheld
+  /// until the epoch boundary, so within the epoch each half extends
+  /// and attests its own sibling and the checkpoint votes split.
+  void propose_balancing(std::uint32_t who, Slot slot) {
+    const Epoch e = epoch_of(slot);
+    ++result.equivocating_proposals;
+    for (const int side : {0, 1}) {
+      View& v = side == 0 ? *views[who] : *byz_alt_views[who - cfg.n_honest];
+      const Digest head = head_of(v, e);
+      Digest body{};
+      body[0] = static_cast<std::uint8_t>(side + 1);
+      const Block b = Block::make(head, slot, ValidatorIndex{who}, body);
+      global_tree.insert(b);
+      side_of[b.id] = side;  // pins the side even on a fresh fork
+      ingest_block(v, b);
+      const auto id = store_payload(b);
+      network.release_at(queue.now() + 0.1, ValidatorIndex{who},
+                         side_audiences[static_cast<std::size_t>(side)], id);
+      split_withheld.emplace_back(ValidatorIndex{who}, id, side);
+    }
+  }
+
+  /// Balancing attester: vote once, from the assigned side's view (no
+  /// attestation equivocation — the balancing adversary stays
+  /// unslashable), broadcast to everyone.
+  void attest_balancing(std::uint32_t who, Slot slot) {
+    if (slashed_set.contains(who)) return;
+    const int side = static_cast<int>((who - cfg.n_honest) % 2);
+    View& v = side == 0 ? *views[who] : *byz_alt_views[who - cfg.n_honest];
+    Attestation a = make_attestation(v, who, slot);
+    ingest_attestation(v, a);
+    const auto id = store_payload(a);
     network.broadcast(ValidatorIndex{who}, id);
   }
 
@@ -254,6 +354,10 @@ struct SlotSim::Impl {
   /// withheld equivocations are re-gossiped to everyone at GST.
   void attest_byzantine(std::uint32_t who, Slot slot) {
     if (slashed_set.contains(who)) return;
+    if (balancing()) {
+      attest_balancing(who, slot);
+      return;
+    }
     const bool partitioned = queue.now() < network.config().gst;
     if (!partitioned) {
       attest_honest(who, slot);
@@ -278,6 +382,19 @@ struct SlotSim::Impl {
   }
 
   void process_epoch_boundary(Epoch finished) {
+    // The balancing split lapses at the boundary: every withheld
+    // cross-side proposal is released, views reconcile, and the
+    // adversary must re-equivocate next epoch to keep the fork
+    // balanced (blocks only — attestations never equivocated, so
+    // nothing here is slashable).
+    if (balancing() && !split_withheld.empty()) {
+      for (const auto& [from, id, side] : split_withheld) {
+        network.release_at(queue.now() + 0.1, from,
+                           side_audiences[static_cast<std::size_t>(1 - side)],
+                           id);
+      }
+      split_withheld.clear();
+    }
     for (std::uint32_t i = 0; i < n; ++i) {
       View& v = *views[i];
       // Re-run the last few epochs to absorb stragglers (votes that
@@ -302,6 +419,7 @@ struct SlotSim::Impl {
     }
     // Validator 0's leak observation and finality progress.
     const auto fin0 = views[0]->ffg->finalized().epoch.value();
+    result.finalized_epoch_trajectory.push_back(fin0);
     const bool leaking =
         finished.value() - fin0 > cfg.spec.min_epochs_to_inactivity_penalty;
     result.leak_observed = result.leak_observed || leaking;
@@ -375,6 +493,21 @@ struct SlotSim::Impl {
       result.finalized_epoch.push_back(views[i]->ffg->finalized().epoch.value());
       result.justified_epoch.push_back(views[i]->ffg->justified().epoch.value());
     }
+    // Longest run of epoch boundaries without finality progress.
+    std::size_t stall = 0;
+    std::size_t current = 0;
+    std::uint64_t prev_fin = 0;
+    for (const std::uint64_t fin : result.finalized_epoch_trajectory) {
+      if (fin > prev_fin) {
+        prev_fin = fin;
+        current = 0;
+      } else {
+        ++current;
+      }
+      stall = std::max(stall, current);
+    }
+    result.finality_stall_epochs = stall;
+
     result.blocks_seen = views[0]->tree.size();
     result.messages_delivered = network.messages_delivered();
     return result;

@@ -27,6 +27,21 @@
 
 namespace leak::sim {
 
+/// Byzantine proposer behaviour.
+enum class ProposerStrategy : std::uint8_t {
+  /// Byzantine proposers follow the protocol (a single block per slot).
+  kHonest,
+  /// The balancing attack (Neu/Tas/Tse): a Byzantine proposer
+  /// equivocates — one block per fork side, each released only to its
+  /// half of the honest validators (split by validator-index parity)
+  /// and withheld from the other half until the epoch boundary.
+  /// Byzantine attesters vote for their assigned side, keeping the
+  /// LMD-GHOST weights of the two siblings balanced, so honest
+  /// checkpoint votes split across two targets and justification
+  /// starves without any validator equivocating its attestations.
+  kBalancing,
+};
+
 struct SlotSimConfig {
   std::uint32_t n_honest = 32;
   std::uint32_t n_byzantine = 0;
@@ -37,6 +52,8 @@ struct SlotSimConfig {
   double gst_epoch = 0.0;
   /// Network delay bound within a region / after GST, seconds.
   double delta = 1.0;
+  /// What Byzantine proposers do with their slots.
+  ProposerStrategy proposer_strategy = ProposerStrategy::kHonest;
   std::uint64_t seed = 1;
   penalties::SpecConfig spec = penalties::SpecConfig::paper();
 };
@@ -59,6 +76,15 @@ struct SlotSimResult {
   std::uint64_t messages_delivered = 0;
   /// Per-epoch: did validator 0's finalized checkpoint advance?
   std::vector<bool> finality_advanced;
+  /// Equivocating proposals the adversary produced (balancing mode).
+  std::size_t equivocating_proposals = 0;
+  /// Validator 0's finalized-checkpoint epoch observed at each epoch
+  /// boundary (one entry per simulated epoch).
+  std::vector<std::uint64_t> finalized_epoch_trajectory;
+  /// Longest run of consecutive epoch boundaries without finality
+  /// progress for validator 0 — the balanced fork's finality stall
+  /// (includes the protocol's ~2-epoch warmup).
+  std::size_t finality_stall_epochs = 0;
 };
 
 /// The simulator.  Construct, then call run().

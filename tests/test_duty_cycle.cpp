@@ -112,6 +112,34 @@ TEST(MultiBranch, InvalidBranchCountThrows) {
                std::invalid_argument);
   EXPECT_THROW(static_cast<void>(multibranch_beta_max(0, 0.2, kPaper)),
                std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(multibranch_exceed_threshold(1, 0.2, 100.0, kPaper)),
+      std::invalid_argument);
+}
+
+TEST(MultiBranch, ExceedThresholdTwoBranchesIsLegacyCriterion) {
+  // The m = 2 threshold must equal the original run_bouncing_mc
+  // exceedance expression bit for bit — the CI baseline diff depends
+  // on it.
+  for (const double beta0 : {0.2, 0.33, 0.4}) {
+    const double factor = 2.0 * beta0 / (1.0 - beta0);
+    for (const double t : {100.0, 1000.0, 4024.0}) {
+      EXPECT_EQ(multibranch_exceed_threshold(2, beta0, t, kPaper),
+                factor * stake(Behavior::kSemiActive, t, kPaper))
+          << "beta0=" << beta0 << " t=" << t;
+    }
+  }
+}
+
+TEST(MultiBranch, ExceedThresholdScalesWithBranches) {
+  // More branches: a larger splitting factor (m beta / (1 - beta)) but
+  // a slower Byzantine duty-cycle decay; early on the factor dominates.
+  const double t = 500.0;
+  EXPECT_GT(multibranch_exceed_threshold(4, 0.33, t, kPaper),
+            multibranch_exceed_threshold(2, 0.33, t, kPaper));
+  // Thresholds decay in t (the duty-cycled Byzantine stake shrinks).
+  EXPECT_GT(multibranch_exceed_threshold(3, 0.33, 100.0, kPaper),
+            multibranch_exceed_threshold(3, 0.33, 4000.0, kPaper));
 }
 
 }  // namespace

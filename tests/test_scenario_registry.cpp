@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/analytic/duty_cycle.hpp"
 #include "src/bouncing/attack_sim.hpp"
 #include "src/bouncing/montecarlo.hpp"
 #include "src/scenario/registry.hpp"
@@ -22,11 +23,12 @@ TEST(ScenarioRegistryTest, BuiltinCatalogIsComplete) {
   for (const char* name :
        {"bouncing-mc", "attack-lifetime", "population-ensemble",
         "partition-trials", "duty-cycle", "recovery", "slot-protocol",
-        "table1"}) {
+        "table1", "balancing-attack", "semiactive-sweep",
+        "multi-partition-recovery"}) {
     EXPECT_NE(r.find(name), nullptr) << name;
   }
   EXPECT_EQ(r.find("nonexistent"), nullptr);
-  EXPECT_GE(r.size(), 8u);
+  EXPECT_GE(r.size(), 11u);
 }
 
 TEST(ScenarioRegistryTest, EveryScenarioHonorsTheUniformContract) {
@@ -159,6 +161,62 @@ TEST(ScenarioRegistryTest, PartitionTrialsMatchesDriverBitExactly) {
   EXPECT_EQ(res.metric("beta_exceeded_fraction"),
             direct.beta_exceeded_fraction);
   EXPECT_EQ(res.metric("mean_conflict_epoch"), direct.mean_conflict_epoch);
+}
+
+TEST(ScenarioRegistryTest, MultiPartitionRecoveryDegeneratesToPartitionTrials) {
+  // The acceptance contract of the k-branch generalization: with
+  // branches = 2, heal disabled and stagger 0, multi-partition-recovery
+  // is bit-identical to the legacy partition-trials driver — same RNG
+  // draws, same core, same metrics and per-trial outcomes.
+  const auto trials = static_cast<std::int64_t>(env::scaled_count(8));
+  const auto& legacy = *builtin_registry().find("partition-trials");
+  auto lp = legacy.spec().defaults();
+  lp.set("paths", trials);
+  lp.set("n_validators", std::int64_t{120});
+  lp.set("max_epochs", std::int64_t{1500});
+  const auto want = legacy.run(lp);
+
+  const auto& multi = *builtin_registry().find("multi-partition-recovery");
+  auto mp = multi.spec().defaults();
+  mp.set("paths", trials);
+  mp.set("n_validators", std::int64_t{120});
+  mp.set("max_epochs", std::int64_t{1500});
+  mp.set("branches", std::int64_t{2});
+  mp.set("heal_epoch", std::int64_t{0});
+  mp.set("heal_stagger", std::int64_t{0});
+  const auto got = multi.run(mp);
+
+  for (const char* metric :
+       {"conflicting_fraction", "beta_exceeded_fraction",
+        "mean_conflict_epoch"}) {
+    EXPECT_EQ(want.metric(metric), got.metric(metric)) << metric;
+  }
+  // Healing disabled: the recovery tail is identically zero.
+  EXPECT_EQ(got.metric("recovered_fraction"), 0.0);
+  EXPECT_EQ(got.metric("mean_residual_loss_eth"), 0.0);
+  // Per-trial conflict epochs and beta peaks match row by row.
+  ASSERT_TRUE(want.trials && got.trials);
+  ASSERT_EQ(want.trials->rows(), got.trials->rows());
+  for (std::size_t i = 0; i < want.trials->rows(); ++i) {
+    EXPECT_EQ(want.trials->cell(i, 1), got.trials->cell(i, 1)) << i;
+    EXPECT_EQ(want.trials->cell(i, 2), got.trials->cell(i, 2)) << i;
+  }
+}
+
+TEST(ScenarioRegistryTest, SemiactiveSweepMatchesDutyCycleClosedForms) {
+  const auto& sc = *builtin_registry().find("semiactive-sweep");
+  auto params = sc.spec().defaults();
+  params.set("paths", std::int64_t{32});
+  params.set("epochs", std::int64_t{512});
+  params.set("branches", std::int64_t{3});
+  const auto res = sc.run(params);
+  const auto cfg = analytic::AnalyticConfig::paper();
+  EXPECT_EQ(res.metric("beta_max"),
+            analytic::multibranch_beta_max(3, 0.33, cfg));
+  EXPECT_EQ(res.metric("supermajority_recovery_epoch"),
+            analytic::multibranch_supermajority_epoch(3, 0.33, cfg));
+  EXPECT_EQ(res.metric("beta0_lower_bound"),
+            analytic::multibranch_beta0_lower_bound(3, cfg));
 }
 
 TEST(ScenarioRegistryTest, ResultsAreThreadCountInvariant) {

@@ -47,5 +47,10 @@ run_baseline duty-cycle
 run_baseline recovery
 run_baseline slot-protocol       --paths 2 --set n_honest=16 --set epochs=6
 run_baseline table1
+run_baseline balancing-attack    --paths 2 --set n_honest=16 --set n_byzantine=4 --set epochs=8
+run_baseline semiactive-sweep    --paths 64 --set epochs=1000 --set branches=3
+run_baseline multi-partition-recovery \
+  --paths 4 --set n_validators=200 --set branches=3 \
+  --set heal_epoch=1200 --set heal_stagger=300 --set max_epochs=4000
 
 echo "wrote $(ls "${OUT_DIR}"/*.json | wc -l) baselines to ${OUT_DIR}"

@@ -32,6 +32,7 @@ END='<!-- scenario-catalog:end -->'
 TABLE="$("${LEAKCTL}" list --json | python3 "${REPO_ROOT}/tools/scenario_catalog.py")"
 
 python3 - "${README}" "${BEGIN}" "${END}" "${CHECK}" <<'EOF' "${TABLE}"
+import difflib
 import sys
 
 readme_path, begin, end, check = sys.argv[1:5]
@@ -47,8 +48,15 @@ except ValueError:
 updated = head + begin + "\n" + table + end + tail
 if check == "1":
     if updated != text:
+        diff = difflib.unified_diff(
+            text.splitlines(keepends=True),
+            updated.splitlines(keepends=True),
+            fromfile=f"{readme_path} (committed)",
+            tofile=f"{readme_path} (regenerated)",
+        )
+        sys.stderr.writelines(diff)
         sys.exit(
-            "error: README scenario catalog is stale - run "
+            "error: README scenario catalog is stale (diff above) - run "
             "tools/update_scenario_catalog.sh and commit the result"
         )
     print("scenario catalog is current")
