@@ -82,7 +82,7 @@ void BM_RegistryLeakEpoch(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   chain::ValidatorRegistry reg(n);
   penalties::InactivityTracker tracker(reg, penalties::SpecConfig::paper());
-  const std::vector<bool> active(n, false);
+  const std::vector<std::uint8_t> active(n, 0);
   std::uint64_t epoch = 5;
   for (auto _ : state) {
     tracker.process_epoch(Epoch{epoch++}, Epoch{0}, active);

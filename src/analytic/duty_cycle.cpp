@@ -33,7 +33,7 @@ double duty_cycle_ejection_epoch(unsigned k, const AnalyticConfig& cfg) {
 DiscreteTrajectory duty_cycle_discrete(unsigned k, std::size_t epochs,
                                        const AnalyticConfig& cfg) {
   if (k == 0) return simulate_discrete(Behavior::kInactive, epochs, cfg);
-  std::vector<bool> active(epochs);
+  std::vector<std::uint8_t> active(epochs);
   for (std::size_t t = 0; t < epochs; ++t) active[t] = (t % k == k - 1);
   return simulate_discrete(active, cfg);
 }

@@ -44,7 +44,8 @@ double ejection_epoch(Behavior b, const AnalyticConfig& cfg) {
   return std::sqrt(2.0 * cfg.quotient * std::log(ratio) / v);
 }
 
-DiscreteTrajectory simulate_discrete(const std::vector<bool>& active_at,
+DiscreteTrajectory simulate_discrete(
+    const std::vector<std::uint8_t>& active_at,
                                      const AnalyticConfig& cfg) {
   DiscreteTrajectory out;
   out.stake.reserve(active_at.size() + 1);
@@ -57,7 +58,7 @@ DiscreteTrajectory simulate_discrete(const std::vector<bool>& active_at,
     // Eq 2: penalty uses the score and stake of the previous epoch.
     s -= score * s / cfg.quotient;
     // Eq 1: score update with the protocol's floor at zero.
-    if (active_at[t]) {
+    if (active_at[t] != 0) {
       score = std::max(score - cfg.score_active_decrement, 0.0);
     } else {
       score += cfg.score_bias;
@@ -73,7 +74,7 @@ DiscreteTrajectory simulate_discrete(const std::vector<bool>& active_at,
 
 DiscreteTrajectory simulate_discrete(Behavior b, std::size_t epochs,
                                      const AnalyticConfig& cfg) {
-  std::vector<bool> active(epochs);
+  std::vector<std::uint8_t> active(epochs);
   for (std::size_t t = 0; t < epochs; ++t) {
     switch (b) {
       case Behavior::kActive:

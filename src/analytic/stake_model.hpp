@@ -57,11 +57,13 @@ struct DiscreteTrajectory {
   std::int64_t ejection_epoch = -1;
 };
 
-/// Run the exact discrete recurrence for `epochs` epochs.  `active_at(t)`
-/// says whether the validator is active at epoch t.  Scores are floored
-/// at zero (as in the protocol; the continuous model ignores the floor).
+/// Run the exact discrete recurrence for `epochs` epochs.  `active_at[t]`
+/// (nonzero = active) says whether the validator is active at epoch t.
+/// Scores are floored at zero (as in the protocol; the continuous model
+/// ignores the floor).  Activity flags are bytes, not vector<bool>:
+/// the packed-word proxy races under concurrent writers (leaklint D3).
 DiscreteTrajectory simulate_discrete(
-    const std::vector<bool>& active_at, const AnalyticConfig& cfg);
+    const std::vector<std::uint8_t>& active_at, const AnalyticConfig& cfg);
 
 /// Convenience: discrete trajectory for one of the three behaviours.
 DiscreteTrajectory simulate_discrete(Behavior b, std::size_t epochs,

@@ -157,7 +157,13 @@ McResult run_bouncing_mc(const McConfig& cfg,
                     [&](std::size_t begin, std::size_t end) {
                       // One scratch per worker thread, reused across
                       // the blocks it claims (reset() re-seeds without
-                      // reallocating).
+                      // reallocating).  Purely an allocation cache:
+                      // every value in it is re-derived from the
+                      // (seed, path) stream before use, so thread
+                      // placement can never reach the results
+                      // (enforced by the scalar-vs-batched
+                      // bit-identity suite).
+                      // leaklint: allow(D5): per-thread allocation cache only; contents fully re-seeded per block, results bit-identical across thread counts
                       static thread_local BatchPaths scratch;
                       simulate_stake_block(cfg, snapshot_epochs, seeder,
                                            begin, end - begin, scratch,
@@ -187,6 +193,8 @@ McResult run_bouncing_mc(const McConfig& cfg,
           for (std::size_t k = 0; k < snapshots; ++k) {
             rows[k] = slab.data.data() + k * slab.n_paths;
           }
+          // Same allocation-cache pattern as the keep-paths branch.
+          // leaklint: allow(D5): per-thread allocation cache only; contents fully re-seeded per block, results bit-identical across thread counts
           static thread_local BatchPaths scratch;
           simulate_stake_block(cfg, snapshot_epochs, seeder, begin,
                                slab.n_paths, scratch, rows.data(), 0);

@@ -11,14 +11,14 @@ std::uint64_t churn_limit(std::uint64_t active_count,
 }
 
 void ExitQueue::request_exit(ValidatorIndex v) {
-  if (v.value() >= queued_.size()) queued_.resize(v.value() + 1, false);
-  if (queued_[v.value()]) return;
-  queued_[v.value()] = true;
+  if (v.value() >= queued_.size()) queued_.resize(v.value() + 1, 0);
+  if (queued_[v.value()] != 0) return;
+  queued_[v.value()] = 1;
   queue_.push_back(v);
 }
 
 bool ExitQueue::is_queued(ValidatorIndex v) const {
-  return v.value() < queued_.size() && queued_[v.value()];
+  return v.value() < queued_.size() && queued_[v.value()] != 0;
 }
 
 std::vector<ValidatorIndex> ExitQueue::process_epoch(
@@ -35,7 +35,7 @@ std::vector<ValidatorIndex> ExitQueue::process_epoch(
   while (!queue_.empty() && ejected.size() < limit) {
     const ValidatorIndex v = queue_.front();
     queue_.pop_front();
-    queued_[v.value()] = false;
+    queued_[v.value()] = 0;
     reg.eject(v, epoch);
     ejected.push_back(v);
   }

@@ -47,7 +47,7 @@ class ExitQueue {
  private:
   ChurnConfig cfg_;
   std::deque<ValidatorIndex> queue_;
-  std::vector<bool> queued_;  // lazily sized
+  std::vector<std::uint8_t> queued_;  // lazily sized
 };
 
 }  // namespace leak::penalties

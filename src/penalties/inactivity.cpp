@@ -20,7 +20,8 @@ bool InactivityTracker::is_leaking(Epoch current, Epoch last_finalized) const {
 }
 
 EpochPenaltyReport InactivityTracker::process_epoch(
-    Epoch current, Epoch last_finalized, const std::vector<bool>& active) {
+    Epoch current, Epoch last_finalized,
+    const std::vector<std::uint8_t>& active) {
   if (active.size() != registry_.size()) {
     throw std::invalid_argument("process_epoch: activity vector size");
   }
@@ -47,7 +48,7 @@ EpochPenaltyReport InactivityTracker::process_epoch(
     }
 
     // Score update (Eq 1).
-    if (active[i]) {
+    if (active[i] != 0) {
       const std::uint64_t dec = config_.inactivity_score_active_decrement;
       rec.inactivity_score -= std::min(dec, rec.inactivity_score);
     } else {

@@ -37,11 +37,13 @@ class InactivityTracker {
   /// min_epochs_to_inactivity_penalty).
   [[nodiscard]] bool is_leaking(Epoch current, Epoch last_finalized) const;
 
-  /// Process one epoch: `active[i]` says whether validator i was deemed
-  /// active this epoch on this branch (attested with a correct target).
-  /// Exited validators are skipped.
+  /// Process one epoch: `active[i]` (nonzero = active) says whether
+  /// validator i was deemed active this epoch on this branch (attested
+  /// with a correct target).  Exited validators are skipped.  Flags are
+  /// bytes, not vector<bool>: branch trackers run on pool workers, and
+  /// the packed-word proxy races under concurrent writers (leaklint D3).
   EpochPenaltyReport process_epoch(Epoch current, Epoch last_finalized,
-                                   const std::vector<bool>& active);
+                                   const std::vector<std::uint8_t>& active);
 
   [[nodiscard]] const SpecConfig& config() const { return config_; }
 

@@ -9,8 +9,8 @@
 // adversary escapes punishment until after the damage is done.
 #pragma once
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/chain/block.hpp"
@@ -38,8 +38,9 @@ class SlashingDetector {
   [[nodiscard]] std::size_t observed_count(ValidatorIndex v) const;
 
  private:
-  std::unordered_map<ValidatorIndex, std::vector<chain::Attestation>>
-      by_attester_;
+  /// Ordered map (leaklint D4): src/penalties is a reduction layer, and
+  /// an ordered container keeps any future iteration deterministic.
+  std::map<ValidatorIndex, std::vector<chain::Attestation>> by_attester_;
 };
 
 /// Applies a slashing: burns balance/min_slashing_penalty_quotient and

@@ -1,7 +1,6 @@
 #include "src/scenario/registry.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
 
 #include "src/runner/thread_pool.hpp"
@@ -28,12 +27,9 @@ ScenarioResult Scenario::run(const ParamSet& params) const {
   result.threads = runner::resolve_threads(
       static_cast<unsigned>(params.get_int("threads")));
   result.git_describe = git_describe();
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = monotonic_ms();
   run_(params, &result);
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_ms = monotonic_ms() - start_ms;
   return result;
 }
 

@@ -64,16 +64,16 @@ BouncingProtocolResult run_bouncing_protocol(
     rng.shuffle(honest_order);
     const auto k = static_cast<std::size_t>(
         std::llround(cfg.p0 * static_cast<double>(n_honest)));
-    std::vector<bool> on_target(n, false);
+    std::vector<std::uint8_t> on_target(n, 0);
     for (std::size_t i = 0; i < k && i < honest_order.size(); ++i) {
-      on_target[honest_order[i]] = true;
+      on_target[honest_order[i]] = 1;
     }
 
     bool byz_alive = false;
     bool target_justified = false;
     for (int b = 0; b < 2; ++b) {
       auto& reg = registry[static_cast<std::size_t>(b)];
-      std::vector<bool> active(n, false);
+      std::vector<std::uint8_t> active(n, 0);
       for (std::uint32_t i = 0; i < n; ++i) {
         if (is_byz(i)) {
           active[i] = (byz_branch == b);

@@ -106,7 +106,7 @@ PartitionSimResult run_partition_core(
   // Reused across every (epoch, branch) pair: each pass assigns every
   // index, so hoisting the buffer out of the hot loop removes one
   // allocation per simulated epoch per branch.
-  std::vector<bool> active(n, false);
+  std::vector<std::uint8_t> active(n, 0);
 
   for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
     const Epoch epoch{t};

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <map>
+#include <set>
 #include <tuple>
-#include <unordered_set>
 
 #include "src/chain/shuffle.hpp"
 #include "src/crypto/sha256.hpp"
@@ -17,7 +18,6 @@ using chain::Attestation;
 using chain::Block;
 using chain::Checkpoint;
 using chain::Digest;
-using chain::DigestHash;
 
 /// Attestation broadcast offset within a slot (like mainnet's 4 s mark).
 constexpr double kAttestationOffset = 4.0;
@@ -48,7 +48,10 @@ struct SlotSim::Impl {
     std::unique_ptr<chain::ForkChoice> fc;
     std::unique_ptr<finality::FfgTracker> ffg;
     /// Blocks whose parent has not arrived yet: parent -> children.
-    std::unordered_map<Digest, std::vector<Block>, DigestHash> orphans;
+    /// Ordered maps throughout this TU (leaklint D4): src/sim is a
+    /// kernel/reduction layer, and ordered containers make even an
+    /// accidental future iteration deterministic.
+    std::map<Digest, std::vector<Block>> orphans;
   };
 
   SlotSimConfig cfg;
@@ -70,7 +73,7 @@ struct SlotSim::Impl {
   // ---- balancing attack state ---------------------------------------
   /// Fork side of each equivocation sibling (0 / 1), plus memoized
   /// sides of their descendants; -1 marks pre-fork (neutral) blocks.
-  std::unordered_map<Digest, int, DigestHash> side_of;
+  std::map<Digest, int> side_of;
   /// (sender, payload id, side) of the withheld cross-side proposals;
   /// everything is released to the opposite half at the epoch boundary
   /// (the split must be refreshed by a new equivocation each epoch).
@@ -85,7 +88,7 @@ struct SlotSim::Impl {
 
   chain::BlockTree global_tree;
   finality::SafetyMonitor monitor;
-  std::unordered_set<std::uint32_t> slashed_set;
+  std::set<std::uint32_t> slashed_set;
   SlotSimResult result;
   std::vector<std::uint64_t> last_reported_finalized;
 
@@ -245,7 +248,7 @@ struct SlotSim::Impl {
 
   /// Duty roster per epoch (swap-or-not committees, balance-weighted
   /// proposers), built lazily against the live registry.
-  std::unordered_map<std::uint64_t, chain::DutyRoster> rosters;
+  std::map<std::uint64_t, chain::DutyRoster> rosters;
 
   const chain::DutyRoster& roster_for(Epoch e) {
     auto it = rosters.find(e.value());

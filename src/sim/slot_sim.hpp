@@ -9,8 +9,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -75,7 +73,8 @@ struct SlotSimResult {
   /// Total network messages delivered.
   std::uint64_t messages_delivered = 0;
   /// Per-epoch: did validator 0's finalized checkpoint advance?
-  std::vector<bool> finality_advanced;
+  /// (bytes, not vector<bool> -- leaklint D3)
+  std::vector<std::uint8_t> finality_advanced;
   /// Equivocating proposals the adversary produced (balancing mode).
   std::size_t equivocating_proposals = 0;
   /// Validator 0's finalized-checkpoint epoch observed at each epoch

@@ -1,5 +1,7 @@
 #include "src/support/version.hpp"
 
+#include <chrono>
+
 // The definition is injected per-TU by src/CMakeLists.txt
 // (set_source_files_properties on this file only, so editing the git
 // state never rebuilds the whole library).
@@ -10,5 +12,11 @@
 namespace leak {
 
 const char* git_describe() { return LEAK_GIT_DESCRIBE; }
+
+double monotonic_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace leak

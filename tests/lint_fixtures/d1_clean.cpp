@@ -1,0 +1,10 @@
+// D1 fixture: no findings -- member .time() calls are not the C call,
+// identifiers merely containing banned substrings stay clean, and
+// comments may talk about rand() or std::random_device freely.
+struct Stopwatch;
+
+long no_entropy(Stopwatch& sw, Stopwatch* p) {
+  long time_budget = 0;      // substring of a longer identifier
+  long runtime = sw.time();  // member access, not ::time()
+  return time_budget + runtime + p->time();
+}

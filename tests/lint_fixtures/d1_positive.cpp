@@ -1,0 +1,17 @@
+// D1 fixture: every direct-entropy shape the rule must catch.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy_sources() {
+  std::random_device rd;                                   // D1 (and the include is D2)
+  srand(42);                                               // D1
+  int a = rand();                                          // D1
+  long t = time(nullptr);                                  // D1
+  auto now = std::chrono::steady_clock::now();             // D1
+  auto sys = std::chrono::system_clock::now();             // D1
+  (void)now;
+  (void)sys;
+  return static_cast<int>(rd() + a + t);
+}

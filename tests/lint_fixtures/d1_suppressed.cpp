@@ -1,0 +1,9 @@
+// D1 fixture: the same hits, silenced by justified suppressions.
+#include <ctime>
+
+long sanctioned_timing() {
+  // leaklint: allow(D1): fixture demonstrating a justified wall-clock read
+  long t = time(nullptr);
+  long u = time(nullptr);  // leaklint: allow(D1): trailing-comment form of the same justification
+  return t + u;
+}

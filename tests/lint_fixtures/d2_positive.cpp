@@ -1,0 +1,10 @@
+// D2 fixture: std <random> engines outside src/support/random.hpp.
+#include <random>
+
+unsigned foreign_engines(unsigned seed) {
+  std::mt19937 gen(seed);                 // D2
+  std::mt19937_64 gen64(seed);            // D2
+  std::minstd_rand lcg(seed);             // D2
+  std::default_random_engine dre(seed);   // D2
+  return static_cast<unsigned>(gen() + gen64() + lcg() + dre());
+}

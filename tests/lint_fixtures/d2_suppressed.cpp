@@ -1,0 +1,9 @@
+// D2 fixture: a justified engine use (e.g. a statistical cross-check
+// against the reference implementation of a published distribution).
+unsigned sanctioned_engine(unsigned seed) {
+  // leaklint: allow(D2): fixture demonstrating a justified foreign-engine comparison harness
+  unsigned state = seed;  // stand-in; the next line carries the hit
+  // leaklint: allow(D2): reference-engine cross-check, never feeds simulation state
+  std::mt19937 gen(state);
+  return static_cast<unsigned>(gen());
+}

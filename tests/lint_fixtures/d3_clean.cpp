@@ -1,0 +1,11 @@
+// D3 fixture: byte flags, plus the banned token in comments/strings only.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// A std::vector<bool> mentioned in a comment must not fire.
+std::string docs() {
+  std::vector<std::uint8_t> flags(10, 0);
+  flags[1] = 1;
+  return "never use std::vector<bool> in src/";  // string content is stripped
+}

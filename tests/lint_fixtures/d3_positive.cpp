@@ -1,0 +1,13 @@
+// D3 fixture: the banned packed-bool vector, in several spellings.
+#include <vector>
+
+std::vector<bool> flags_by_value();                  // D3
+
+void packed_bools() {
+  std::vector<bool> a(10);                           // D3
+  std::vector< bool > spaced(10);                    // D3 (whitespace)
+  std::vector<
+      bool>
+      wrapped(10);                                   // D3 (line-wrapped)
+  a[0] = spaced[1] = wrapped[2] = true;
+}

@@ -1,0 +1,8 @@
+// D3 fixture: a justified vector<bool> (single-threaded, memory-bound).
+#include <vector>
+
+void justified_packed_bools() {
+  // leaklint: allow(D3): single-threaded sieve; 8x memory saving matters and no worker ever writes concurrently
+  std::vector<bool> sieve(1 << 20);
+  sieve[2] = true;
+}

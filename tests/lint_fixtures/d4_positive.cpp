@@ -1,0 +1,13 @@
+// D4 fixture: unordered containers in a kernel/reduction TU.
+#include <unordered_map>
+#include <unordered_set>
+
+double hash_order_accumulation() {
+  std::unordered_map<int, double> weights;             // D4
+  std::unordered_set<int> seen;                        // D4
+  weights[1] = 0.5;
+  seen.insert(1);
+  double sum = 0.0;
+  for (const auto& [k, w] : weights) sum += w;  // the hazard D4 exists for
+  return sum;
+}

@@ -1,0 +1,9 @@
+// D4 fixture: justified lookup-only unordered map.
+#include <unordered_map>
+
+int lookup_only(int key) {
+  // leaklint: allow(D4): lookup-only cache, never iterated, so hash order cannot reach any result
+  static std::unordered_map<int, int> cache;
+  const auto it = cache.find(key);
+  return it == cache.end() ? 0 : it->second;
+}

@@ -1,0 +1,16 @@
+// D5 fixture: mutable namespace-scope state and thread_local.
+#include <cstdint>
+
+int g_call_count = 0;                       // D5 (mutable global)
+double g_last_result = 0.0;                 // D5 (mutable global)
+
+namespace leak_fixture {
+std::uint64_t g_epoch_cursor = 0;           // D5 (namespace scope)
+}
+
+int bump() {
+  thread_local int per_thread_count = 0;    // D5 (thread_local)
+  ++leak_fixture::g_epoch_cursor;
+  g_last_result = 1.0;
+  return ++g_call_count + ++per_thread_count;
+}

@@ -1,0 +1,14 @@
+// D5 fixture: justified thread_local scratch plus clean global shapes.
+#include <cstdint>
+
+constexpr int kMaxLanes = 4;                 // constexpr: clean
+const double kScale = 2.0;                   // const: clean
+static int s_tu_local_debug_flag = 0;        // static: D5 exempts statics
+
+int scratch_reuse() {
+  // leaklint: allow(D5): allocation cache only; contents fully re-derived from the per-trial stream before every use
+  thread_local std::uint64_t scratch = 0;
+  scratch += static_cast<std::uint64_t>(kMaxLanes * kScale);
+  s_tu_local_debug_flag = 1;
+  return static_cast<int>(scratch) + s_tu_local_debug_flag;
+}

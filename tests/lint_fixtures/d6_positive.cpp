@@ -1,0 +1,11 @@
+// D6 fixture: float accumulation hazards in a kernel TU.
+#include <numeric>
+#include <vector>
+
+double float_hazards(const std::vector<double>& xs) {
+  float partial = 0.0F;                                       // D6 (float)
+  for (const double x : xs) partial += static_cast<float>(x); // D6 (float)
+  const auto f = std::accumulate(xs.begin(), xs.end(), 0.0f); // D6 (float init)
+  const auto r = std::reduce(xs.begin(), xs.end(), 0.0);      // D6 (unordered)
+  return static_cast<double>(partial) + f + r;
+}

@@ -1,0 +1,10 @@
+// D6 fixture: double accumulate is clean; a justified float survives.
+#include <numeric>
+#include <vector>
+
+double sanctioned(const std::vector<double>& xs) {
+  const double total = std::accumulate(xs.begin(), xs.end(), 0.0);  // clean
+  // leaklint: allow(D6): float is the wire format of this exported telemetry field, never accumulated
+  float wire_value = 0.0F;
+  return total + static_cast<double>(wire_value);
+}

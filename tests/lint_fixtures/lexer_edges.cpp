@@ -1,0 +1,29 @@
+// Lexer fixture: banned tokens hidden where the lexer must not look,
+// plus one real hit inside a multi-line macro.
+#include <string>
+
+// Comment bait: std::vector<bool>, rand(), std::mt19937, thread_local.
+/* Block-comment bait spanning lines:
+   std::random_device rd; time(nullptr);
+   std::unordered_map<int, int> m; */
+
+std::string raw_bait() {
+  // Raw string bait, including a quote-closing feint:
+  auto s = R"lint(
+    std::vector<bool> inside_raw;
+    std::mt19937 gen(rand());
+    )not_the_end" still inside
+  )lint";
+  auto plain = "string bait: std::vector<bool> time( rand( ";
+  auto ch = 'r';  // char literal; and 1'000'000 digit separators parse
+  long big = 1'000'000'000;
+  return s + plain + ch + std::to_string(big);
+}
+
+// A line comment spliced with a backslash stays a comment: rand() \
+   time(nullptr) std::vector<bool> still_comment;
+
+#define EPOCH_STEP(reg)        \
+  do {                         \
+    (reg).seed = rand();       \
+  } while (0)

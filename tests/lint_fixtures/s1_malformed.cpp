@@ -1,0 +1,11 @@
+// S1 fixture: suppressions that must themselves be findings.
+#include <vector>
+
+void bad_suppressions() {
+  std::vector<bool> a(4);  // leaklint: allow(D3)
+  // leaklint: allow(): empty rule list with justification text
+  std::vector<bool> b(4);
+  // leaklint: allow(D9): unknown rule id with a justification
+  std::vector<bool> c(4);
+  a[0] = b[0] = c[0] = true;
+}

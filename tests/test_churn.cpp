@@ -48,7 +48,7 @@ TEST(ChurnTracker, EjectionWaveSmearedOverEpochs) {
   SpecConfig spec = SpecConfig::paper();
   spec.use_churn_limit = true;
   InactivityTracker tracker(reg, spec);
-  const std::vector<bool> inactive(64, false);
+  const std::vector<std::uint8_t> inactive(64, 0);
   std::size_t total_ejected = 0;
   std::uint64_t first_ejection = 0, last_ejection = 0;
   for (std::uint64_t t = 1; t <= 6000 && total_ejected < 64; ++t) {
@@ -69,7 +69,7 @@ TEST(ChurnTracker, QueuedValidatorsKeepLeaking) {
   SpecConfig spec = SpecConfig::paper();
   spec.use_churn_limit = true;
   InactivityTracker tracker(reg, spec);
-  const std::vector<bool> inactive(64, false);
+  const std::vector<std::uint8_t> inactive(64, 0);
   // Run to mid-wave (64 exits at 4/epoch take ~16 epochs from ~4661):
   // the still-queued validators' balances sit at/below the threshold.
   const std::uint64_t mid_wave = 4666;

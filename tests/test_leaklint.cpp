@@ -1,0 +1,435 @@
+// Tests for leaklint (tools/lint): the lexer, the file classifier,
+// every rule D1-D6, the suppression grammar (including S1 hygiene),
+// and the fixture corpus under tests/lint_fixtures/.
+//
+// Fixtures are linted through lint_file() with an explicit FileClass,
+// as-if they lived in src/ (or a kernel TU) — classify() itself is
+// covered separately.  The fixture directory is passed in by CMake as
+// LEAK_LINT_FIXTURE_DIR; the leaklint tree walker skips it by name so
+// the deliberately dirty fixtures never fail the repo-wide lint gate.
+#include "tools/lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+using leak::lint::FileClass;
+using leak::lint::Finding;
+using leak::lint::Severity;
+using leak::lint::Stripped;
+using leak::lint::Suppression;
+
+#ifndef LEAK_LINT_FIXTURE_DIR
+#error "LEAK_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+std::string fixture_path(const std::string& name) {
+  return std::string(LEAK_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+FileClass src_class() {
+  FileClass cls;
+  cls.in_src = true;
+  return cls;
+}
+
+FileClass kernel_class() {
+  FileClass cls;
+  cls.in_src = true;
+  cls.kernel_tu = true;
+  return cls;
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::vector<std::size_t> lines_of(const std::vector<Finding>& findings,
+                                  std::string_view rule) {
+  std::vector<std::size_t> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const FileClass& cls,
+                                  std::size_t* suppressed = nullptr) {
+  auto findings = leak::lint::lint_file(fixture_path(name), name, cls,
+                                        suppressed);
+  EXPECT_EQ(count_rule(findings, "IO"), 0u)
+      << "fixture " << name << " unreadable at " << fixture_path(name);
+  return findings;
+}
+
+// ---------------------------------------------------------------- lexer
+
+TEST(LeaklintLexer, StripPreservesLengthAndLines) {
+  const std::string_view src =
+      "int a = 1; // trailing comment\n"
+      "/* block\n   comment */ int b = 2;\n";
+  const Stripped s = leak::lint::strip(src);
+  ASSERT_EQ(s.code.size(), src.size());
+  EXPECT_EQ(std::count(s.code.begin(), s.code.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(s.code.find("comment"), std::string::npos);
+  EXPECT_NE(s.code.find("int b = 2;"), std::string::npos);
+}
+
+TEST(LeaklintLexer, BlanksStringAndCharContents) {
+  const Stripped s = leak::lint::strip(
+      "auto s = \"rand() vector<bool>\"; char c = 'x';\n");
+  EXPECT_EQ(s.code.find("rand"), std::string::npos);
+  EXPECT_EQ(s.code.find('x'), std::string::npos);
+  // Delimiters survive so offsets stay meaningful.
+  EXPECT_NE(s.code.find('"'), std::string::npos);
+  EXPECT_NE(s.code.find('\''), std::string::npos);
+}
+
+TEST(LeaklintLexer, BlanksRawStringsIncludingFeintDelimiters) {
+  const std::string_view src =
+      "auto s = R\"lint(\n"
+      "  std::mt19937 gen;\n"
+      "  )other\" still text\n"
+      ")lint\";\n"
+      "std::size_t after = 0;\n";
+  const Stripped s = leak::lint::strip(src);
+  EXPECT_EQ(s.code.find("mt19937"), std::string::npos);
+  EXPECT_EQ(s.code.find("still text"), std::string::npos);
+  EXPECT_NE(s.code.find("std::size_t after = 0;"), std::string::npos);
+}
+
+TEST(LeaklintLexer, DigitSeparatorIsNotACharLiteral) {
+  // A quote glued to a digit must not open a char literal and swallow
+  // the rest of the file.
+  const Stripped s =
+      leak::lint::strip("long big = 1'000'000; int visible = 2;\n");
+  EXPECT_NE(s.code.find("int visible = 2;"), std::string::npos);
+}
+
+TEST(LeaklintLexer, SplicedLineCommentStaysAComment) {
+  const std::string_view src =
+      "// comment with a splice \\\n"
+      "rand(); still_comment();\n"
+      "int real_code = 1;\n";
+  const Stripped s = leak::lint::strip(src);
+  EXPECT_EQ(s.code.find("rand"), std::string::npos);
+  EXPECT_NE(s.code.find("int real_code = 1;"), std::string::npos);
+}
+
+TEST(LeaklintLexer, ParsesTrailingSuppression) {
+  const Stripped s = leak::lint::strip(
+      "foo();  // leaklint: allow(D4): lookup-only map, never iterated\n");
+  ASSERT_EQ(s.suppressions.size(), 1u);
+  const Suppression& sup = s.suppressions[0];
+  EXPECT_FALSE(sup.malformed);
+  EXPECT_TRUE(sup.justified);
+  EXPECT_FALSE(sup.comment_only);
+  EXPECT_EQ(sup.line_begin, 1u);
+  EXPECT_EQ(sup.line_end, 1u);
+  ASSERT_EQ(sup.rules.size(), 1u);
+  EXPECT_EQ(sup.rules[0], "D4");
+}
+
+TEST(LeaklintLexer, ParsesCommentOnlyMultiRuleSuppression) {
+  const Stripped s = leak::lint::strip(
+      "  // leaklint: allow(D3, D4): scratch buffer, single-threaded\n"
+      "  std::vector<bool> scratch;\n");
+  ASSERT_EQ(s.suppressions.size(), 1u);
+  const Suppression& sup = s.suppressions[0];
+  EXPECT_TRUE(sup.comment_only);
+  EXPECT_TRUE(sup.justified);
+  ASSERT_EQ(sup.rules.size(), 2u);
+  EXPECT_EQ(sup.rules[0], "D3");
+  EXPECT_EQ(sup.rules[1], "D4");
+}
+
+TEST(LeaklintLexer, MissingJustificationIsMalformed) {
+  const Stripped s = leak::lint::strip("foo();  // leaklint: allow(D4)\n");
+  ASSERT_EQ(s.suppressions.size(), 1u);
+  EXPECT_TRUE(s.suppressions[0].malformed);
+  EXPECT_FALSE(s.suppressions[0].justified);
+}
+
+TEST(LeaklintLexer, EmptyRuleListIsMalformed) {
+  const Stripped s =
+      leak::lint::strip("// leaklint: allow(): because reasons\n");
+  ASSERT_EQ(s.suppressions.size(), 1u);
+  EXPECT_TRUE(s.suppressions[0].malformed);
+}
+
+// ----------------------------------------------------------- classifier
+
+TEST(LeaklintClassify, KernelDirsGetKernelRules) {
+  for (const std::string_view path :
+       {"src/bouncing/montecarlo.cpp", "src/runner/trial_runner.hpp",
+        "src/sim/slot_sim.cpp", "src/penalties/inactivity.cpp"}) {
+    const FileClass cls = leak::lint::classify(path);
+    EXPECT_TRUE(cls.in_src) << path;
+    EXPECT_TRUE(cls.kernel_tu) << path;
+    EXPECT_FALSE(cls.entropy_allowed) << path;
+    EXPECT_FALSE(cls.engine_allowed) << path;
+  }
+}
+
+TEST(LeaklintClassify, NonKernelSrcGetsBaseRulesOnly) {
+  const FileClass cls = leak::lint::classify("src/analytic/stake_model.cpp");
+  EXPECT_TRUE(cls.in_src);
+  EXPECT_FALSE(cls.kernel_tu);
+}
+
+TEST(LeaklintClassify, SanctionedSitesAreExempt) {
+  EXPECT_TRUE(leak::lint::classify("src/support/version.cpp").entropy_allowed);
+  EXPECT_TRUE(leak::lint::classify("src/support/version.hpp").entropy_allowed);
+  EXPECT_TRUE(leak::lint::classify("src/support/random.hpp").engine_allowed);
+  EXPECT_FALSE(leak::lint::classify("src/support/random.hpp").entropy_allowed);
+}
+
+TEST(LeaklintClassify, OutsideSrcOnlyD2Applies) {
+  const FileClass cls = leak::lint::classify("tests/test_runner.cpp");
+  EXPECT_FALSE(cls.in_src);
+  EXPECT_FALSE(cls.kernel_tu);
+  EXPECT_FALSE(cls.engine_allowed);
+}
+
+// ------------------------------------------------------------- rule D1
+
+TEST(LeaklintRuleD1, FlagsEveryDirectEntropySource) {
+  const auto findings = lint_fixture("d1_positive.cpp", src_class());
+  EXPECT_EQ(lines_of(findings, "D1"),
+            (std::vector<std::size_t>{8, 9, 10, 11, 12, 13}));
+  // The <random> include is D2 territory, not D1.
+  EXPECT_EQ(count_rule(findings, "D2"), 1u);
+}
+
+TEST(LeaklintRuleD1, JustifiedSuppressionSilences) {
+  std::size_t suppressed = 0;
+  const auto findings =
+      lint_fixture("d1_suppressed.cpp", src_class(), &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 2u);
+}
+
+TEST(LeaklintRuleD1, MemberTimeCallsAreClean) {
+  const auto findings = lint_fixture("d1_clean.cpp", src_class());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LeaklintRuleD1, DoesNotApplyOutsideSrc) {
+  const auto findings = lint_fixture("d1_positive.cpp", FileClass{});
+  EXPECT_EQ(count_rule(findings, "D1"), 0u);
+  // D2 still applies everywhere.
+  EXPECT_EQ(count_rule(findings, "D2"), 1u);
+}
+
+// ------------------------------------------------------------- rule D2
+
+TEST(LeaklintRuleD2, FlagsEnginesAndTheRandomHeader) {
+  const auto findings = lint_fixture("d2_positive.cpp", FileClass{});
+  // One per engine declaration plus the #include <random>.
+  EXPECT_EQ(lines_of(findings, "D2"),
+            (std::vector<std::size_t>{2, 5, 6, 7, 8}));
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.severity, Severity::kError);
+  }
+}
+
+TEST(LeaklintRuleD2, JustifiedSuppressionSilences) {
+  std::size_t suppressed = 0;
+  const auto findings =
+      lint_fixture("d2_suppressed.cpp", FileClass{}, &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LeaklintRuleD2, SanctionedEngineSiteIsExempt) {
+  FileClass cls;
+  cls.engine_allowed = true;
+  const auto findings = lint_fixture("d2_positive.cpp", cls);
+  EXPECT_EQ(count_rule(findings, "D2"), 0u);
+}
+
+// ------------------------------------------------------------- rule D3
+
+TEST(LeaklintRuleD3, FlagsVectorBoolInAllSpellings) {
+  const auto findings = lint_fixture("d3_positive.cpp", src_class());
+  EXPECT_EQ(lines_of(findings, "D3"),
+            (std::vector<std::size_t>{4, 7, 8, 9}));
+}
+
+TEST(LeaklintRuleD3, JustifiedSuppressionSilences) {
+  std::size_t suppressed = 0;
+  const auto findings =
+      lint_fixture("d3_suppressed.cpp", src_class(), &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LeaklintRuleD3, CommentsAndStringsAreClean) {
+  const auto findings = lint_fixture("d3_clean.cpp", src_class());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LeaklintRuleD3, DoesNotApplyOutsideSrc) {
+  const auto findings = lint_fixture("d3_positive.cpp", FileClass{});
+  EXPECT_EQ(count_rule(findings, "D3"), 0u);
+}
+
+// ------------------------------------------------------------- rule D4
+
+TEST(LeaklintRuleD4, FlagsUnorderedContainersInKernelTUs) {
+  const auto findings = lint_fixture("d4_positive.cpp", kernel_class());
+  EXPECT_EQ(lines_of(findings, "D4"), (std::vector<std::size_t>{6, 7}));
+  for (const Finding& f : findings) {
+    if (f.rule == "D4") {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(LeaklintRuleD4, IncludesThemselvesAreNotFlagged) {
+  // The #include <unordered_map> lines (1-based lines 2-3) carry the
+  // token too; only the usage sites may fire.
+  const auto lines = lines_of(
+      lint_fixture("d4_positive.cpp", kernel_class()), "D4");
+  EXPECT_TRUE(std::find(lines.begin(), lines.end(), 2u) == lines.end());
+  EXPECT_TRUE(std::find(lines.begin(), lines.end(), 3u) == lines.end());
+}
+
+TEST(LeaklintRuleD4, JustifiedSuppressionSilences) {
+  std::size_t suppressed = 0;
+  const auto findings =
+      lint_fixture("d4_suppressed.cpp", kernel_class(), &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LeaklintRuleD4, DoesNotApplyOutsideKernelTUs) {
+  const auto findings = lint_fixture("d4_positive.cpp", src_class());
+  EXPECT_EQ(count_rule(findings, "D4"), 0u);
+}
+
+// ------------------------------------------------------------- rule D5
+
+TEST(LeaklintRuleD5, FlagsMutableGlobalsAndThreadLocal) {
+  const auto findings = lint_fixture("d5_positive.cpp", src_class());
+  EXPECT_EQ(lines_of(findings, "D5"),
+            (std::vector<std::size_t>{4, 5, 8, 12}));
+}
+
+TEST(LeaklintRuleD5, ConstStaticAndSuppressedShapesAreClean) {
+  std::size_t suppressed = 0;
+  const auto findings =
+      lint_fixture("d5_suppressed.cpp", src_class(), &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LeaklintRuleD5, DoesNotApplyOutsideSrc) {
+  const auto findings = lint_fixture("d5_positive.cpp", FileClass{});
+  EXPECT_EQ(count_rule(findings, "D5"), 0u);
+}
+
+// ------------------------------------------------------------- rule D6
+
+TEST(LeaklintRuleD6, FlagsFloatAccumulationHazards) {
+  const auto findings = lint_fixture("d6_positive.cpp", kernel_class());
+  EXPECT_EQ(lines_of(findings, "D6"),
+            (std::vector<std::size_t>{6, 7, 8, 9}));
+}
+
+TEST(LeaklintRuleD6, DoubleAccumulateIsCleanAndSuppressionWorks) {
+  std::size_t suppressed = 0;
+  const auto findings =
+      lint_fixture("d6_suppressed.cpp", kernel_class(), &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LeaklintRuleD6, DoesNotApplyOutsideKernelTUs) {
+  const auto findings = lint_fixture("d6_positive.cpp", src_class());
+  EXPECT_EQ(count_rule(findings, "D6"), 0u);
+}
+
+// ---------------------------------------------------- suppression rules
+
+TEST(LeaklintRuleS1, MalformedAndUnknownSuppressionsAreFindings) {
+  const auto findings = lint_fixture("s1_malformed.cpp", kernel_class());
+  // Malformed suppressions never silence: all three D3 hits survive.
+  EXPECT_EQ(lines_of(findings, "D3"), (std::vector<std::size_t>{5, 7, 9}));
+  // allow(D3) without justification, allow() with an empty rule list,
+  // allow(D9) naming an unknown rule.
+  EXPECT_EQ(lines_of(findings, "S1"), (std::vector<std::size_t>{5, 6, 8}));
+  for (const Finding& f : findings) {
+    if (f.rule == "S1") {
+      EXPECT_EQ(f.severity, Severity::kError);
+    }
+  }
+}
+
+TEST(LeaklintSuppression, WrongRuleIdDoesNotSilence) {
+  const auto findings = leak::lint::lint_source(
+      "probe.cpp",
+      "#include <vector>\n"
+      "// leaklint: allow(D4): wrong rule for this line\n"
+      "std::vector<bool> flags(4);\n",
+      src_class());
+  EXPECT_EQ(count_rule(findings, "D3"), 1u);
+}
+
+TEST(LeaklintSuppression, CommentOnlyCoversOnlyTheNextLine) {
+  const auto findings = leak::lint::lint_source(
+      "probe.cpp",
+      "// leaklint: allow(D3): covers the next line only\n"
+      "std::vector<bool> covered(4);\n"
+      "std::vector<bool> not_covered(4);\n",
+      src_class());
+  EXPECT_EQ(lines_of(findings, "D3"), (std::vector<std::size_t>{3}));
+}
+
+// ------------------------------------------------------- lexer fixtures
+
+TEST(LeaklintLexerFixture, OnlyTheMacroBodyHitSurvives) {
+  // Every banned token in comments, strings, raw strings and char
+  // literals is invisible; the rand() inside the multi-line #define
+  // body is the one real finding.
+  const auto findings = lint_fixture("lexer_edges.cpp", kernel_class());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D1");
+  EXPECT_EQ(findings[0].line, 28u);
+}
+
+// -------------------------------------------------------------- catalog
+
+TEST(LeaklintCatalog, CoversAllRules) {
+  const auto& catalog = leak::lint::rule_catalog();
+  for (const std::string_view id :
+       {"D1", "D2", "D3", "D4", "D5", "D6", "S1"}) {
+    EXPECT_TRUE(std::any_of(catalog.begin(), catalog.end(),
+                            [&](const leak::lint::RuleInfo& r) {
+                              return id == r.id;
+                            }))
+        << "missing rule " << id;
+  }
+  EXPECT_STREQ(leak::lint::severity_name(Severity::kError), "error");
+  EXPECT_STREQ(leak::lint::severity_name(Severity::kWarning), "warning");
+}
+
+TEST(LeaklintIO, UnreadableFileIsAnIOFinding) {
+  const auto findings = leak::lint::lint_file(
+      fixture_path("does_not_exist.cpp"), "does_not_exist.cpp", src_class());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "IO");
+}
+
+}  // namespace

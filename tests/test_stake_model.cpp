@@ -114,7 +114,7 @@ TEST(Discrete, EjectionEpochCloseToContinuous) {
 
 TEST(Discrete, ScoreFlooredAtZero) {
   // Alternating activity starting active: score dips to 0, never below.
-  std::vector<bool> active(100);
+  std::vector<std::uint8_t> active(100);
   for (std::size_t t = 0; t < 100; ++t) active[t] = (t % 2 == 0);
   const auto traj = simulate_discrete(active, kPaper);
   for (const double s : traj.score) EXPECT_GE(s, 0.0);

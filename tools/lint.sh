@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# One-command local entry point for the static-analysis gates CI runs:
+#
+#   tools/lint.sh              # leaklint + clang-tidy (if installed)
+#   tools/lint.sh --leaklint   # just the determinism linter
+#   tools/lint.sh --tidy       # just clang-tidy over src/
+#
+# leaklint is built into build-lint/ (a tiny tools-only tree, so this
+# works without configuring the full test suite).  clang-tidy needs a
+# compile database; the script configures one with
+# CMAKE_EXPORT_COMPILE_COMMANDS and skips the step with a notice when
+# clang-tidy is not installed, matching the CI `lint` job.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+run_leaklint=1
+run_tidy=1
+case "${1:-}" in
+  --leaklint) run_tidy=0 ;;
+  --tidy) run_leaklint=0 ;;
+  "") ;;
+  *)
+    echo "usage: tools/lint.sh [--leaklint|--tidy]" >&2
+    exit 2
+    ;;
+esac
+
+build_dir="build-lint"
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DLEAK_BUILD_TESTS=OFF -DLEAK_BUILD_BENCH=OFF \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+if [[ "${run_leaklint}" == 1 ]]; then
+  echo "== leaklint =="
+  cmake --build "${build_dir}" --target leaklint -j "$(nproc)" >/dev/null
+  "./${build_dir}/tools/lint/leaklint" --root "${repo_root}" \
+    src tests bench examples
+fi
+
+if [[ "${run_tidy}" == 1 ]]; then
+  echo "== clang-tidy =="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping (CI runs it)" >&2
+  else
+    # Lint the library TUs; headers come in via HeaderFilterRegex.
+    find src -name '*.cpp' -print0 \
+      | xargs -0 -n 8 -P "$(nproc)" clang-tidy -p "${build_dir}" --quiet
+  fi
+fi

@@ -1,0 +1,164 @@
+// leaklint CLI: walks the given files/directories, classifies each
+// source by its repo-relative path, runs the determinism rules and
+// prints findings as `file:line: severity[rule]: message`.  Exit code
+// is nonzero when any unsuppressed finding remains, so the CTest hook
+// and CI lint job gate on a clean tree.
+//
+// Usage:
+//   leaklint [--root DIR] [--quiet] [--list-rules] [PATH...]
+//
+// PATHs are resolved relative to --root (default: the current
+// directory) and default to `src tests bench examples`.  Build trees,
+// .git, _deps and the deliberately-dirty tests/lint_fixtures corpus
+// are always skipped.
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kDefaultPaths[] = {"src", "tests", "bench",
+                                              "examples"};
+
+[[nodiscard]] bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".cxx" || ext == ".hh";
+}
+
+[[nodiscard]] bool skipped_component(const std::string& name) {
+  return name == ".git" || name == "_deps" || name == "third_party" ||
+         name == "lint_fixtures" || name.starts_with("build");
+}
+
+[[nodiscard]] bool path_is_skipped(const fs::path& rel) {
+  for (const auto& part : rel) {
+    if (skipped_component(part.string())) return true;
+  }
+  return false;
+}
+
+void collect(const fs::path& root, const fs::path& arg,
+             std::vector<fs::path>& out, bool& ok) {
+  const fs::path abs = arg.is_absolute() ? arg : root / arg;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) {
+    out.push_back(abs);
+    return;
+  }
+  if (!fs::is_directory(abs, ec)) {
+    std::cerr << "leaklint: no such file or directory: " << abs.string()
+              << "\n";
+    ok = false;
+    return;
+  }
+  for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory() &&
+        skipped_component(it->path().filename().string())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+void print_rules() {
+  std::cout << "leaklint determinism rules:\n";
+  for (const leak::lint::RuleInfo& r : leak::lint::rule_catalog()) {
+    std::cout << "  " << r.id << "  (" << leak::lint::severity_name(r.severity)
+              << ")  " << r.summary << "\n";
+  }
+  std::cout << "\nSuppress a finding with a justified comment on (or "
+               "directly above) the line:\n"
+               "  // leaklint: allow(D4): lookup-only map, never iterated\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool quiet = false;
+  std::vector<fs::path> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "leaklint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: leaklint [--root DIR] [--quiet] [--list-rules] "
+                   "[PATH...]\n";
+      return 0;
+    } else if (a.starts_with("-")) {
+      std::cerr << "leaklint: unknown option " << a << "\n";
+      return 2;
+    } else {
+      args.emplace_back(std::string(a));
+    }
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "leaklint: bad --root\n";
+    return 2;
+  }
+  if (args.empty()) {
+    for (const std::string_view p : kDefaultPaths) {
+      if (fs::is_directory(root / p)) args.emplace_back(std::string(p));
+    }
+  }
+
+  bool ok = true;
+  std::vector<fs::path> files;
+  for (const fs::path& a : args) collect(root, a, files, ok);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t n_findings = 0;
+  std::size_t n_suppressed = 0;
+  std::size_t n_files = 0;
+  for (const fs::path& f : files) {
+    const fs::path rel = fs::relative(f, root, ec);
+    const std::string label =
+        (ec || rel.empty()) ? f.generic_string() : rel.generic_string();
+    if (path_is_skipped(ec ? f : rel)) continue;
+    ++n_files;
+    std::size_t suppressed = 0;
+    const auto findings = leak::lint::lint_file(
+        f.string(), label, leak::lint::classify(label), &suppressed);
+    n_suppressed += suppressed;
+    for (const leak::lint::Finding& finding : findings) {
+      ++n_findings;
+      std::cout << finding.file << ":" << finding.line << ": "
+                << leak::lint::severity_name(finding.severity) << "["
+                << finding.rule << "]: " << finding.message << "\n";
+    }
+  }
+  if (!quiet) {
+    std::cerr << "leaklint: " << n_files << " files, " << n_findings
+              << " finding" << (n_findings == 1 ? "" : "s") << " ("
+              << n_suppressed << " suppressed)\n";
+  }
+  if (!ok) return 2;
+  return n_findings == 0 ? 0 : 1;
+}

@@ -1,0 +1,271 @@
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "tools/lint/lint.hpp"
+
+namespace leak::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses one finished comment body for a `leaklint: allow(...)` marker.
+/// Returns true when the comment mentions leaklint at all (well-formed
+/// or not), filling `out`.
+bool parse_suppression(std::string_view comment, Suppression& out) {
+  const std::size_t at = comment.find("leaklint:");
+  if (at == std::string_view::npos) return false;
+  std::string_view rest = trim(comment.substr(at + 9));
+  if (!rest.starts_with("allow")) {
+    out.malformed = true;
+    return true;
+  }
+  rest = trim(rest.substr(5));
+  if (!rest.starts_with("(")) {
+    out.malformed = true;
+    return true;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    out.malformed = true;
+    return true;
+  }
+  // Comma-separated rule ids.
+  std::string_view ids = rest.substr(1, close - 1);
+  while (!ids.empty()) {
+    const std::size_t comma = ids.find(',');
+    const std::string_view id = trim(ids.substr(0, comma));
+    if (!id.empty()) out.rules.emplace_back(id);
+    if (comma == std::string_view::npos) break;
+    ids.remove_prefix(comma + 1);
+  }
+  if (out.rules.empty()) {
+    out.malformed = true;
+    return true;
+  }
+  // Mandatory justification: whatever follows the close paren (an
+  // optional ':' or '-' separator, then prose).
+  std::string_view just = trim(rest.substr(close + 1));
+  if (!just.empty() && (just.front() == ':' || just.front() == '-')) {
+    just = trim(just.substr(1));
+  }
+  out.justified = !just.empty();
+  out.malformed = !out.justified;
+  return true;
+}
+
+}  // namespace
+
+Stripped strip(std::string_view source) {
+  Stripped out;
+  out.code.assign(source.size(), ' ');
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+
+  std::size_t line = 1;
+  std::size_t comment_begin_line = 0;
+  bool comment_only = true;   // nothing but whitespace before the comment
+  bool line_has_code = false; // non-ws, non-comment char seen this line
+  std::string comment_text;
+  std::string raw_delim;  // ")delim" terminator of the active raw string
+
+  const auto finish_comment = [&](std::size_t end_line) {
+    Suppression s;
+    if (parse_suppression(comment_text, s)) {
+      s.line_begin = comment_begin_line;
+      s.line_end = end_line;
+      s.comment_only = comment_only;
+      out.suppressions.push_back(std::move(s));
+    }
+    comment_text.clear();
+  };
+
+  const std::size_t n = source.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = source[i];
+    const char next = i + 1 < n ? source[i + 1] : '\0';
+    if (c == '\n') ++line;
+
+    switch (state) {
+      case State::kCode: {
+        if (c == '\n') {
+          out.code[i] = '\n';
+          line_has_code = false;
+          break;
+        }
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_begin_line = line;
+          comment_only = !line_has_code;
+          ++i;  // swallow the second '/'
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_begin_line = line;
+          comment_only = !line_has_code;
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          // Raw string?  Look back over an optional encoding prefix for
+          // an R not glued to a longer identifier.
+          std::size_t p = i;
+          bool raw = false;
+          if (p > 0 && source[p - 1] == 'R' &&
+              (p < 2 || !is_ident(source[p - 2]) ||
+               (p >= 2 && (source[p - 2] == 'u' || source[p - 2] == 'U' ||
+                           source[p - 2] == 'L') &&
+                (p < 3 || !is_ident(source[p - 3]))))) {
+            raw = true;
+          }
+          if (raw) {
+            std::size_t j = i + 1;
+            std::string delim;
+            while (j < n && source[j] != '(' && delim.size() < 16) {
+              delim.push_back(source[j]);
+              ++j;
+            }
+            if (j < n && source[j] == '(') {
+              state = State::kRawString;
+              raw_delim = ")" + delim + "\"";
+              out.code[i] = '"';
+              // Blank the delimiter and '(' too (they are literal text).
+              i = j;
+              break;
+            }
+          }
+          state = State::kString;
+          out.code[i] = '"';
+          break;
+        }
+        if (c == '\'') {
+          // A quote glued to an identifier/number char is a digit
+          // separator (1'000'000), not a char literal.
+          if (i > 0 && is_ident(source[i - 1])) {
+            break;  // blanked; harmless inside a numeric token
+          }
+          state = State::kChar;
+          out.code[i] = '\'';
+          break;
+        }
+        out.code[i] = c;
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          line_has_code = true;
+        }
+        break;
+      }
+
+      case State::kLineComment: {
+        if (c == '\n') {
+          // A line comment whose final character is a backslash splices
+          // onto the next physical line and stays a comment.
+          std::size_t back = i;
+          while (back > 0 && (source[back - 1] == '\r')) --back;
+          if (back > 0 && source[back - 1] == '\\') {
+            out.code[i] = '\n';
+            comment_text.push_back('\n');
+            break;
+          }
+          finish_comment(line - 1);
+          state = State::kCode;
+          out.code[i] = '\n';
+          line_has_code = false;
+          break;
+        }
+        comment_text.push_back(c);
+        break;
+      }
+
+      case State::kBlockComment: {
+        if (c == '\n') {
+          out.code[i] = '\n';
+          comment_text.push_back('\n');
+          break;
+        }
+        if (c == '*' && next == '/') {
+          finish_comment(line);
+          state = State::kCode;
+          ++i;
+          break;
+        }
+        comment_text.push_back(c);
+        break;
+      }
+
+      case State::kString: {
+        if (c == '\\') {
+          ++i;  // skip the escaped character (covers \" and \\)
+          if (i < n && source[i] == '\n') {
+            out.code[i] = '\n';
+            ++line;
+          }
+          break;
+        }
+        if (c == '"') {
+          state = State::kCode;
+          out.code[i] = '"';
+          break;
+        }
+        if (c == '\n') out.code[i] = '\n';  // unterminated; keep lines
+        break;
+      }
+
+      case State::kChar: {
+        if (c == '\\') {
+          ++i;
+          break;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+          out.code[i] = '\'';
+          break;
+        }
+        if (c == '\n') out.code[i] = '\n';
+        break;
+      }
+
+      case State::kRawString: {
+        if (c == '\n') out.code[i] = '\n';
+        if (c == ')' && source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Count the newlines the delimiter check skipped (none: the
+          // delimiter cannot contain newlines).
+          i += raw_delim.size() - 1;
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    finish_comment(line);
+  }
+  return out;
+}
+
+}  // namespace leak::lint

@@ -1,0 +1,107 @@
+// leaklint: the project's determinism-invariant static-analysis pass.
+//
+// The repo's correctness story — cross-thread/cross-block bit-identity
+// for every Monte Carlo driver and exact baseline replay in CI — rests
+// on conventions (StreamSeeder-only RNG, no std::vector<bool> in
+// concurrent paths, ordered-merge reductions) that the compiler cannot
+// check.  leaklint checks them.  It is a lexer-level pass: comments,
+// strings, char literals and raw strings are blanked before any rule
+// runs, line splices inside macros map tokens back to their physical
+// line, and every finding carries file:line, a severity, and a rule id.
+//
+// Findings are silenced per line with a justified suppression comment:
+//
+//   foo();  // leaklint: allow(D4): lookup-only map, never iterated
+//
+// The justification text is mandatory; a bare allow() is itself a
+// finding (rule S1).  A suppression on a comment-only line covers the
+// next line instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leak::lint {
+
+enum class Severity { kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// One rule violation (or a malformed suppression).
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// The rule catalog (D1-D6 plus the suppression-hygiene rule S1).
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Which rule groups apply to a file, decided from its repo-relative
+/// path.  Tests construct this directly to lint fixtures as-if-src.
+struct FileClass {
+  /// Under src/: D1 (direct entropy), D3 (vector<bool>), D5 (mutable
+  /// globals / thread_local) apply.
+  bool in_src = false;
+  /// Kernel/reduction TU (src/bouncing, src/runner, src/sim,
+  /// src/penalties): D4 (unordered iteration) and D6 (float
+  /// accumulation) apply on top.
+  bool kernel_tu = false;
+  /// src/support/version.*: the one sanctioned wall-clock site.
+  bool entropy_allowed = false;
+  /// src/support/random.hpp: the one sanctioned RNG-engine site.
+  bool engine_allowed = false;
+};
+
+[[nodiscard]] FileClass classify(std::string_view rel_path);
+
+/// A parsed `leaklint: allow(...)` comment.  `line_begin..line_end` is
+/// the physical extent of the comment; a comment-only suppression also
+/// covers the first line after it.
+struct Suppression {
+  std::size_t line_begin = 0;
+  std::size_t line_end = 0;
+  std::vector<std::string> rules;
+  bool justified = false;
+  bool comment_only = false;
+  /// Set when the comment contains `leaklint:` but does not parse as a
+  /// well-formed, justified allow().  Malformed suppressions never
+  /// silence anything; they surface as S1.
+  bool malformed = false;
+};
+
+/// Lexer output.  `code` matches the input byte-for-byte in length and
+/// line structure, with comment bodies and string/char-literal contents
+/// blanked to spaces, so token scans can never fire inside text.
+struct Stripped {
+  std::string code;
+  std::vector<Suppression> suppressions;
+};
+
+[[nodiscard]] Stripped strip(std::string_view source);
+
+/// Run every applicable rule over one source buffer.  `file_label` is
+/// echoed into the findings.  Suppressed findings are dropped;
+/// malformed suppressions come back as S1.  `suppressed_out`, when
+/// non-null, receives the number of findings a justified allow()
+/// silenced.
+[[nodiscard]] std::vector<Finding> lint_source(
+    std::string_view file_label, std::string_view content,
+    const FileClass& cls, std::size_t* suppressed_out = nullptr);
+
+/// Read `path` and lint it; an unreadable file is an IO finding.
+[[nodiscard]] std::vector<Finding> lint_file(
+    const std::string& path, std::string_view file_label,
+    const FileClass& cls, std::size_t* suppressed_out = nullptr);
+
+}  // namespace leak::lint

@@ -1,0 +1,554 @@
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace leak::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// A (possibly ::-qualified) identifier chain in the stripped code.
+struct Token {
+  std::string name;        ///< e.g. "std::chrono::steady_clock::now"
+  std::size_t line = 0;    ///< physical line of the chain's first part
+  std::size_t end = 0;     ///< offset one past the chain in the code
+  bool called = false;     ///< next non-ws char is '('
+  bool member = false;     ///< preceded by '.' or '->' (member access)
+  bool on_directive = false;  ///< logical line starts with '#'
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  /// 1-based line -> true when the line is a preprocessor directive
+  /// (including splice continuations).
+  std::vector<bool> directive;
+};
+
+[[nodiscard]] std::size_t skip_ws(std::string_view code, std::size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+[[nodiscard]] Scan scan_tokens(std::string_view code) {
+  Scan out;
+  out.directive.assign(2, false);
+  std::size_t line = 1;
+  bool line_blank = true;   // only whitespace so far on this line
+  bool in_directive = false;
+  char prev_nonspace = '\0';
+  char prev_nonspace2 = '\0';
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '\n') {
+      // A directive whose line ends in a backslash continues.
+      in_directive = in_directive && i > 0 && code[i - 1] == '\\';
+      ++line;
+      out.directive.push_back(in_directive);
+      line_blank = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (c == '#' && line_blank) {
+      in_directive = true;
+      out.directive[line] = true;
+    }
+    line_blank = false;
+    if (!is_ident_start(c)) {
+      prev_nonspace2 = prev_nonspace;
+      prev_nonspace = c;
+      continue;
+    }
+    // Assemble the full qualified chain.
+    Token tok;
+    tok.line = line;
+    tok.on_directive = in_directive;
+    tok.member = prev_nonspace == '.' ||
+                 (prev_nonspace == '>' && prev_nonspace2 == '-');
+    prev_nonspace2 = '\0';
+    prev_nonspace = 'a';  // any identifier stands in for "not an access"
+    std::size_t j = i;
+    while (j < code.size()) {
+      const std::size_t start = j;
+      while (j < code.size() && is_ident(code[j])) ++j;
+      tok.name.append(code.substr(start, j - start));
+      const std::size_t k = skip_ws(code, j);
+      if (k + 1 < code.size() && code[k] == ':' && code[k + 1] == ':') {
+        const std::size_t m = skip_ws(code, k + 2);
+        if (m < code.size() && is_ident_start(code[m])) {
+          tok.name.append("::");
+          // Account newlines crossed inside the chain.
+          for (std::size_t x = j; x < m; ++x) {
+            if (code[x] == '\n') ++line;
+          }
+          j = m;
+          continue;
+        }
+      }
+      break;
+    }
+    tok.end = j;
+    const std::size_t k = skip_ws(code, j);
+    tok.called = k < code.size() && code[k] == '(';
+    out.tokens.push_back(std::move(tok));
+    i = j - 1;
+  }
+  return out;
+}
+
+[[nodiscard]] bool contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+[[nodiscard]] std::string_view last_component(std::string_view name) {
+  const std::size_t at = name.rfind("::");
+  return at == std::string_view::npos ? name : name.substr(at + 2);
+}
+
+/// True when `name` is the bare or std-qualified C entropy/time call.
+[[nodiscard]] bool is_c_entropy_call(std::string_view name) {
+  for (const std::string_view base : {"rand", "srand", "time", "clock"}) {
+    if (name == base) return true;
+    if (name.size() == base.size() + 5 && name.starts_with("std::") &&
+        name.substr(5) == base) {
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr std::string_view kStdEngines[] = {
+    "mt19937",
+    "minstd_rand",
+    "default_random_engine",
+    "ranlux24",
+    "ranlux48",
+    "knuth_b",
+    "mersenne_twister_engine",
+    "linear_congruential_engine",
+    "subtract_with_carry_engine",
+    "discard_block_engine",
+    "independent_bits_engine",
+    "shuffle_order_engine",
+};
+
+/// Does `std::vector` / `vector` at token `t` instantiate over bool?
+[[nodiscard]] bool vector_of_bool(std::string_view code, const Token& t) {
+  std::size_t i = skip_ws(code, t.end);
+  if (i >= code.size() || code[i] != '<') return false;
+  i = skip_ws(code, i + 1);
+  if (code.compare(i, 4, "bool") != 0) return false;
+  if (i + 4 < code.size() && is_ident(code[i + 4])) return false;
+  i = skip_ws(code, i + 4);
+  return i < code.size() && code[i] == '>';
+}
+
+/// Scans the parenthesized argument list that starts right after token
+/// `t` for a float-suffixed literal (e.g. 0.f, 1.5f, 2e3f).
+[[nodiscard]] bool call_args_have_float_literal(std::string_view code,
+                                                const Token& t) {
+  std::size_t i = skip_ws(code, t.end);
+  if (i >= code.size() || code[i] != '(') return false;
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(') ++depth;
+    if (c == ')' && --depth == 0) break;
+    if ((c == 'f' || c == 'F') && i > 0 &&
+        (std::isdigit(static_cast<unsigned char>(code[i - 1])) != 0 ||
+         code[i - 1] == '.') &&
+        (i + 1 >= code.size() || !is_ident(code[i + 1]))) {
+      // Preceded by a digit or '.', i.e. a numeric literal suffix, not
+      // an identifier ending in f.
+      std::size_t b = i - 1;
+      while (b > 0 && (std::isdigit(static_cast<unsigned char>(code[b])) != 0 ||
+                       code[b] == '.' || code[b] == 'e' || code[b] == 'E' ||
+                       code[b] == '+' || code[b] == '-')) {
+        --b;
+      }
+      if (!is_ident(code[b])) return true;
+    }
+  }
+  return false;
+}
+
+/// Mutable-global detection: walks the brace structure and flags
+/// `type name = init;` statements whose every enclosing brace is a
+/// namespace (or extern-linkage) brace and which carry no
+/// const/constexpr/static/... qualifier.  Heuristic by design — it
+/// catches the `int g_counter = 0;` shape; `Foo g{1};` constructor
+/// shapes are out of scope (reviewed by eye, caught by TSan at
+/// runtime).
+void scan_mutable_globals(std::string_view code, std::string_view file,
+                          std::vector<Finding>& findings) {
+  static constexpr std::string_view kSkipKeywords[] = {
+      "using",     "typedef", "namespace",     "template", "static",
+      "extern",    "friend",  "struct",        "class",    "enum",
+      "union",     "concept", "static_assert", "operator", "requires",
+      "const",     "constexpr", "constinit",   "consteval", "thread_local",
+  };
+  std::vector<bool> ns_brace;  // stack: is this brace a namespace brace?
+  std::vector<std::string> stmt;  // identifier tokens of the open statement
+  bool stmt_has_assign = false;
+  bool stmt_has_paren_before_assign = false;
+  std::size_t stmt_line = 0;
+  std::size_t line = 1;
+  bool line_blank = true;
+  bool in_directive = false;
+  int angle_depth = 0;
+
+  const auto at_global = [&] {
+    return std::all_of(ns_brace.begin(), ns_brace.end(),
+                       [](bool b) { return b; });
+  };
+  const auto reset_stmt = [&] {
+    stmt.clear();
+    stmt_has_assign = false;
+    stmt_has_paren_before_assign = false;
+    stmt_line = 0;
+  };
+  const auto flush_stmt = [&] {
+    if (!stmt.empty() && stmt_has_assign && !stmt_has_paren_before_assign &&
+        stmt.size() >= 2) {
+      for (const std::string& kw : stmt) {
+        for (const std::string_view skip : kSkipKeywords) {
+          if (kw == skip) {
+            reset_stmt();
+            return;
+          }
+        }
+      }
+      findings.push_back(Finding{
+          "D5", Severity::kWarning, std::string(file), stmt_line,
+          "mutable namespace-scope variable '" + stmt.back() +
+              "': shared mutable state breaks cross-thread determinism; "
+              "make it const/constexpr, function-local, or static with a "
+              "justified suppression"});
+    }
+    reset_stmt();
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '\n') {
+      in_directive = in_directive && i > 0 && code[i - 1] == '\\';
+      ++line;
+      line_blank = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (c == '#' && line_blank) in_directive = true;
+    line_blank = false;
+    if (in_directive) continue;
+
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < code.size() && is_ident(code[j])) ++j;
+      if (at_global()) {
+        if (stmt.empty()) stmt_line = line;
+        stmt.emplace_back(code.substr(i, j - i));
+      }
+      i = j - 1;
+      continue;
+    }
+    switch (c) {
+      case '{': {
+        // Namespace brace: the open statement reads `namespace [id]`.
+        const bool is_ns =
+            !stmt.empty() && (stmt.front() == "namespace" ||
+                              (stmt.front() == "extern" && stmt.size() == 1));
+        ns_brace.push_back(is_ns);
+        reset_stmt();
+        angle_depth = 0;
+        break;
+      }
+      case '}': {
+        if (!ns_brace.empty()) ns_brace.pop_back();
+        reset_stmt();
+        angle_depth = 0;
+        break;
+      }
+      case ';': {
+        if (at_global()) flush_stmt();
+        angle_depth = 0;
+        break;
+      }
+      case '=': {
+        if (at_global() && !stmt.empty()) {
+          // `==`, `<=`, `!=` etc. cannot appear in a declaration head;
+          // only a bare '=' marks an initializer.
+          const char prev = i > 0 ? code[i - 1] : '\0';
+          const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+          if (prev != '=' && prev != '<' && prev != '>' && prev != '!' &&
+              next != '=' && angle_depth == 0) {
+            stmt_has_assign = true;
+          }
+        }
+        break;
+      }
+      case '(': {
+        if (at_global() && !stmt_has_assign) {
+          stmt_has_paren_before_assign = true;
+        }
+        break;
+      }
+      case '<':
+        ++angle_depth;
+        break;
+      case '>':
+        if (angle_depth > 0) --angle_depth;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void apply_suppressions(const std::vector<Suppression>& sups,
+                        std::string_view file,
+                        std::vector<Finding>& findings,
+                        std::size_t* suppressed_out) {
+  std::size_t suppressed = 0;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    bool drop = false;
+    for (const Suppression& s : sups) {
+      if (s.malformed || !s.justified) continue;
+      const bool covers =
+          (f.line >= s.line_begin && f.line <= s.line_end) ||
+          (s.comment_only && f.line == s.line_end + 1);
+      if (!covers) continue;
+      if (std::find(s.rules.begin(), s.rules.end(), f.rule) !=
+          s.rules.end()) {
+        drop = true;
+        break;
+      }
+    }
+    if (drop) {
+      ++suppressed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  findings = std::move(kept);
+  for (const Suppression& s : sups) {
+    if (s.malformed) {
+      findings.push_back(Finding{
+          "S1", Severity::kError, std::string(file), s.line_begin,
+          "malformed leaklint suppression: expected "
+          "`leaklint: allow(<rule>[,<rule>...]): <justification>` with a "
+          "non-empty justification"});
+      continue;
+    }
+    for (const std::string& id : s.rules) {
+      const auto& catalog = rule_catalog();
+      const bool known =
+          std::any_of(catalog.begin(), catalog.end(),
+                      [&](const RuleInfo& r) { return id == r.id; });
+      if (!known) {
+        findings.push_back(Finding{
+            "S1", Severity::kError, std::string(file), s.line_begin,
+            "leaklint suppression names unknown rule '" + id + "'"});
+      }
+    }
+  }
+  if (suppressed_out != nullptr) *suppressed_out = suppressed;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"D1", Severity::kError,
+       "direct entropy/wall-clock (std::random_device, rand, srand, time, "
+       "clock, *_clock::now) in src/ outside src/support/version"},
+      {"D2", Severity::kError,
+       "std <random> engine construction outside src/support/random.hpp; "
+       "all draws must route through StreamSeeder/xoshiro lanes"},
+      {"D3", Severity::kError,
+       "std::vector<bool> in src/: packed words race under concurrent "
+       "writers and defeat SoA layouts; use std::vector<std::uint8_t>"},
+      {"D4", Severity::kWarning,
+       "std::unordered_map/std::unordered_set in a kernel/reduction TU "
+       "(src/bouncing, src/runner, src/sim, src/penalties): iteration "
+       "order would feed float accumulation; use an ordered container or "
+       "justify that the site never iterates"},
+      {"D5", Severity::kWarning,
+       "non-static mutable namespace-scope variable or thread_local in "
+       "src/: shared mutable state undermines cross-thread bit-identity"},
+      {"D6", Severity::kWarning,
+       "float-accumulation hazard in a kernel/reduction TU: float "
+       "variables, float-suffixed std::accumulate init, or unordered "
+       "std::reduce/transform_reduce; accumulation must stay double and "
+       "ordered"},
+      {"S1", Severity::kError,
+       "malformed leaklint suppression (missing justification, unknown "
+       "rule id, or unparsable allow())"},
+  };
+  return kCatalog;
+}
+
+FileClass classify(std::string_view rel_path) {
+  FileClass cls;
+  cls.in_src = rel_path.starts_with("src/");
+  for (const std::string_view dir :
+       {"src/bouncing/", "src/runner/", "src/sim/", "src/penalties/"}) {
+    if (rel_path.starts_with(dir)) cls.kernel_tu = true;
+  }
+  cls.entropy_allowed = rel_path.starts_with("src/support/version");
+  cls.engine_allowed = rel_path == "src/support/random.hpp";
+  return cls;
+}
+
+std::vector<Finding> lint_source(std::string_view file_label,
+                                 std::string_view content,
+                                 const FileClass& cls,
+                                 std::size_t* suppressed_out) {
+  std::vector<Finding> findings;
+  const Stripped stripped = strip(content);
+  const std::string_view code = stripped.code;
+  const Scan scan = scan_tokens(code);
+
+  const auto add = [&](const char* rule, Severity sev, std::size_t line,
+                       std::string message) {
+    findings.push_back(
+        Finding{rule, sev, std::string(file_label), line, std::move(message)});
+  };
+
+  for (const Token& t : scan.tokens) {
+    const std::string_view name = t.name;
+
+    // D1 — direct entropy / wall clocks in src/.
+    if (cls.in_src && !cls.entropy_allowed) {
+      if (contains(name, "random_device")) {
+        add("D1", Severity::kError, t.line,
+            "std::random_device is nondeterministic entropy; derive all "
+            "randomness from StreamSeeder (src/support/random.hpp)");
+      } else if (last_component(name) == "now" && contains(name, "clock")) {
+        add("D1", Severity::kError, t.line,
+            "wall-clock read '" + t.name +
+                "' in simulation code; only src/support/version may "
+                "touch the clock (provenance metadata)");
+      } else if (t.called && !t.member && is_c_entropy_call(name)) {
+        add("D1", Severity::kError, t.line,
+            "C entropy/time call '" + t.name +
+                "()' is nondeterministic; use StreamSeeder streams");
+      }
+    }
+
+    // D2 — std <random> engines anywhere but src/support/random.hpp.
+    if (!cls.engine_allowed) {
+      for (const std::string_view engine : kStdEngines) {
+        if (contains(name, engine)) {
+          add("D2", Severity::kError, t.line,
+              "std <random> engine '" + t.name +
+                  "' bypasses the StreamSeeder/xoshiro lanes; every draw "
+                  "must come from leak::Rng");
+          break;
+        }
+      }
+      if (t.on_directive && name == "include") {
+        const std::size_t k = skip_ws(code, t.end);
+        if (code.compare(k, 8, "<random>") == 0) {
+          add("D2", Severity::kError, t.line,
+              "#include <random>: the std engines it provides are banned; "
+              "use src/support/random.hpp");
+        }
+      }
+    }
+
+    // D3 — std::vector<bool> in src/.
+    if (cls.in_src && last_component(name) == "vector" &&
+        vector_of_bool(code, t)) {
+      add("D3", Severity::kError, t.line,
+          "std::vector<bool>: packed words race under concurrent writers "
+          "and defeat SoA layouts; use std::vector<std::uint8_t>");
+    }
+
+    // D4 — unordered containers in kernel/reduction TUs.
+    if (cls.kernel_tu && !t.on_directive &&
+        (contains(name, "unordered_map") || contains(name, "unordered_set"))) {
+      add("D4", Severity::kWarning, t.line,
+          "'" + t.name +
+              "' in a kernel/reduction TU: hash-order iteration feeding an "
+              "accumulation is nondeterministic across libraries; use an "
+              "ordered container or justify that this site never iterates");
+    }
+
+    // D5 — thread_local (the mutable-global scan below covers the rest).
+    if (cls.in_src && name == "thread_local") {
+      add("D5", Severity::kWarning, t.line,
+          "thread_local state: per-thread values must never influence "
+          "results (bit-identity is per trial index, not per thread); "
+          "justify or restructure");
+    }
+
+    // D6 — float accumulation hazards in kernel/reduction TUs.
+    if (cls.kernel_tu) {
+      if (name == "float") {
+        add("D6", Severity::kWarning, t.line,
+            "'float' in a kernel/reduction TU: accumulation must stay "
+            "double (float round-off is order-visible at path counts)");
+      } else if (last_component(name) == "reduce" ||
+                 last_component(name) == "transform_reduce") {
+        add("D6", Severity::kWarning, t.line,
+            "'" + t.name +
+                "' performs unordered reduction; use an ordered "
+                "accumulate/merge so results are bit-identical");
+      } else if (last_component(name) == "accumulate" &&
+                 call_args_have_float_literal(code, t)) {
+        add("D6", Severity::kWarning, t.line,
+            "std::accumulate with a float-typed init literal accumulates "
+            "in float; make the init double");
+      }
+    }
+  }
+
+  if (cls.in_src) {
+    scan_mutable_globals(code, file_label, findings);
+  }
+
+  apply_suppressions(stripped.suppressions, file_label, findings,
+                     suppressed_out);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view file_label,
+                               const FileClass& cls,
+                               std::size_t* suppressed_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{"IO", Severity::kError, std::string(file_label), 0,
+                    "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(file_label, buf.str(), cls, suppressed_out);
+}
+
+}  // namespace leak::lint
