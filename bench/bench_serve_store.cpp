@@ -1,0 +1,99 @@
+// Serve infrastructure: throughput of the append-only results store —
+// CRC framing, durable (fsync) vs buffered appends, and full-file
+// scans.  The store is the per-cell checkpoint path of `leakctl
+// serve`, so its append cost bounds how fine-grained sweep
+// checkpointing can be before it shows up next to the cell runtimes.
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "src/serve/store.hpp"
+#include "src/support/json.hpp"
+
+namespace {
+
+using namespace leak;
+
+[[nodiscard]] json::Value sample_payload(int cell) {
+  json::Value doc = json::Value::object();
+  doc.set("type", "cell");
+  doc.set("job", "0123456789abcdef");
+  doc.set("cell", std::int64_t{cell});
+  doc.set("fp", "deadbeef");
+  json::Value result = json::Value::object();
+  result.set("scenario", "bouncing-mc");
+  json::Value metrics = json::Value::object();
+  metrics.set("ejected_fraction", 0.125);
+  metrics.set("capped_fraction", 0.5);
+  metrics.set("prob_beta_exceeds", 0.03125);
+  result.set("metrics", std::move(metrics));
+  doc.set("result", std::move(result));
+  return doc;
+}
+
+void report() {
+  bench::print_header("Serve results store: record framing");
+  const json::Value payload = sample_payload(0);
+  const std::string line = serve::ResultsStore::frame(payload);
+  Table t({"quantity", "value"});
+  t.add_row({"framed record bytes", std::to_string(line.size())});
+  t.add_row({"frame overhead bytes", "9 (crc32 hex + space)"});
+  bench::emit(t, "serve_store.csv");
+}
+
+void BM_StoreFrame(benchmark::State& state) {
+  const json::Value payload = sample_payload(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::ResultsStore::frame(payload));
+  }
+}
+BENCHMARK(BM_StoreFrame);
+
+void BM_StoreUnframe(benchmark::State& state) {
+  const std::string line =
+      serve::ResultsStore::frame(sample_payload(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::ResultsStore::unframe(line));
+  }
+}
+BENCHMARK(BM_StoreUnframe);
+
+void BM_StoreAppend(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  const std::string path = "/tmp/leak_bench_store.jsonl";
+  std::remove(path.c_str());
+  serve::ResultsStore store(path);
+  const json::Value payload = sample_payload(3);
+  for (auto _ : state) {
+    if (!store.append(payload, sync)) {
+      state.SkipWithError("append failed");
+      break;
+    }
+  }
+  state.SetLabel(sync ? "fsync per record" : "buffered");
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_StoreAppend)->Arg(0)->Arg(1);
+
+void BM_StoreScan(benchmark::State& state) {
+  const std::string path = "/tmp/leak_bench_store_scan.jsonl";
+  std::remove(path.c_str());
+  serve::ResultsStore store(path);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    if (!store.append(sample_payload(i), /*sync=*/false)) {
+      state.SkipWithError("append failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.scan());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_StoreScan)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

@@ -5,6 +5,9 @@
 # against this file and must not regress it.
 #
 # Usage: bench/run_benchmarks.sh [-b BUILD_DIR] [-o OUTPUT_JSON]
+#        [-- extra benchmark flags...]
+# Flags after "--" go to every binary verbatim, e.g.
+#   bench/run_benchmarks.sh -- --benchmark_min_time=0.05
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,6 +25,8 @@ while getopts "b:o:h" opt; do
     *) exit 2 ;;
   esac
 done
+shift $((OPTIND - 1))
+EXTRA_FLAGS=("$@")
 
 BENCH_DIR="${BUILD_DIR}/bench"
 if [[ ! -d "${BENCH_DIR}" ]]; then
@@ -49,7 +54,8 @@ for bin in "${BINARIES[@]}"; do
   # the timings; --benchmark_out keeps the JSON clean of that text.
   "${bin}" --benchmark_format=json \
            --benchmark_out="${TMP_DIR}/${name}.json" \
-           --benchmark_out_format=json > /dev/null
+           --benchmark_out_format=json \
+           ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} > /dev/null
 done
 
 python3 - "${OUTPUT}" "${TMP_DIR}" <<'EOF'

@@ -11,22 +11,41 @@
 //               [--set k=v]... [--vary-seed] [--parallel-cells]
 //               [--json PATH] [--csv PATH] [--quiet]
 //
+// The serve command family runs sweeps as durable, resumable jobs
+// (src/serve): cells are sharded across worker subprocesses and
+// checkpointed one fsync'd record at a time into an append-only
+// store, so a job survives kill -9 at any instant and resumes by
+// re-running only the missing cells (docs/OPERATIONS.md):
+//
+//   leakctl submit <scenario> [--sweep ...] [--set ...] [--vary-seed]
+//               [--workers N] [--max-retries N] [--jobs-dir DIR]
+//   leakctl status [job] [--json] [--jobs-dir DIR]
+//   leakctl resume <job> [--workers N] [--max-cells N] [--jobs-dir DIR]
+//   leakctl results <job> [--json PATH] [--csv PATH] [--canonical]
+//               [--jobs-dir DIR]
+//   leakctl serve [--once] [--poll-ms N] [--jobs-dir DIR]
+//
 // PATH "-" writes to stdout.  `leakctl list --json` feeds
 // tools/scenario_catalog.py, which generates the README "Scenario
 // catalog" section (checked fresh in CI).  `--params FILE` replays an
 // archived experiment: FILE is either a bare params JSON object or a
 // full ScenarioResult report (its "params" member is used), as
 // written by `--json`; later --set/--paths/... override on top.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/scenario/registry.hpp"
 #include "src/scenario/sweep.hpp"
+#include "src/serve/job.hpp"
+#include "src/serve/service.hpp"
+#include "src/support/parse.hpp"
 #include "src/support/report.hpp"
 
 namespace {
@@ -42,6 +61,13 @@ int usage(const char* argv0) {
       "  run <scenario> [options]           run one scenario\n"
       "  sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step] ...\n"
       "                                     grid/list parameter sweep\n"
+      "  submit <scenario> [options]        submit a sweep as a durable job\n"
+      "  status [job] [--json]              job progress (all jobs if none)\n"
+      "  resume <job> [--max-cells N]       run/resume a job's missing "
+      "cells\n"
+      "  results <job> [--canonical]        merged result of a complete "
+      "job\n"
+      "  serve [--once] [--poll-ms N]       run every incomplete job\n"
       "options (run and sweep):\n"
       "  --set k=v        set a parameter (repeatable)\n"
       "  --paths N        shorthand for --set paths=N\n"
@@ -56,7 +82,17 @@ int usage(const char* argv0) {
       "                   object or a full --json report; --set wins)\n"
       "sweep-only options:\n"
       "  --vary-seed      per-cell seeds from (seed, cell index)\n"
-      "  --parallel-cells fan cells across the thread pool\n",
+      "  --parallel-cells fan cells across the thread pool\n"
+      "job options (submit/status/resume/results/serve):\n"
+      "  --jobs-dir DIR   job store directory (default \"jobs\")\n"
+      "  --workers N      worker subprocesses (submit default; resume\n"
+      "                   override)\n"
+      "  --max-retries N  per-cell retry budget on worker death (submit)\n"
+      "  --max-cells N    stop a resume after N newly-executed cells\n"
+      "  --canonical      zero wall-clock metadata in results output\n"
+      "  --once           serve: one pass over incomplete jobs, then "
+      "exit\n"
+      "  --poll-ms N      serve: sleep between passes (default 1000)\n",
       argv0);
   return 2;
 }
@@ -226,6 +262,19 @@ std::optional<scenario::ParamSet> load_params_file(
     *error = path + ": not valid JSON";
     return std::nullopt;
   }
+  // Archives produced by sweeps carry an "axes" member.  Validate it
+  // against this scenario's spec even though a plain `run` replay only
+  // uses the params: a grid axis naming a parameter the scenario does
+  // not declare means the file belongs to a different experiment, and
+  // silently replaying its base params would misattribute results.
+  if (doc->is_object() && doc->find("axes") != nullptr) {
+    std::string axes_error;
+    if (!scenario::axes_from_json(sc.spec(), *doc->find("axes"),
+                                  &axes_error)) {
+      *error = path + ": " + axes_error;
+      return std::nullopt;
+    }
+  }
   const json::Value* params = &*doc;
   if (doc->is_object() && doc->find("params") != nullptr &&
       doc->find("params")->is_object()) {
@@ -313,6 +362,288 @@ int cmd_sweep(const scenario::Scenario& sc,
   return emit_artifacts(result.to_json(), result.to_csv(), opts);
 }
 
+// --- serve command family (src/serve) --------------------------------
+
+/// Options shared by submit/status/resume/results/serve.
+struct JobCliOptions {
+  std::vector<std::string> sets;
+  std::vector<std::string> sweeps;
+  std::string params_path;
+  std::string jobs_dir = "jobs";
+  std::string json_path;
+  std::string csv_path;
+  bool vary_seed = false;
+  bool canonical = false;
+  bool as_json = false;  // --json with no PATH (status)
+  bool once = false;
+  bool quiet = false;
+  unsigned workers = 0;
+  unsigned max_retries = 0;
+  std::size_t max_cells = 0;
+  unsigned poll_ms = 1000;
+  std::vector<std::string> positional;
+};
+
+bool parse_job_options(const std::vector<std::string>& args,
+                       bool json_is_flag, JobCliOptions* out,
+                       std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto need_value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        *error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const auto need_count = [&](const char* flag,
+                                auto* slot) {
+      const auto* v = need_value(flag);
+      if (v == nullptr) return false;
+      const auto parsed = parse::u64(*v);
+      if (!parsed) {
+        *error = std::string(flag) + " needs a non-negative integer";
+        return false;
+      }
+      *slot = static_cast<std::remove_pointer_t<decltype(slot)>>(*parsed);
+      return true;
+    };
+    if (a == "--set") {
+      const auto* v = need_value("--set");
+      if (v == nullptr) return false;
+      out->sets.push_back(*v);
+    } else if (a == "--paths" || a == "--seed" || a == "--threads" ||
+               a == "--block") {
+      const auto* v = need_value(a.c_str());
+      if (v == nullptr) return false;
+      out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--sweep") {
+      const auto* v = need_value("--sweep");
+      if (v == nullptr) return false;
+      out->sweeps.push_back(*v);
+    } else if (a == "--params") {
+      const auto* v = need_value("--params");
+      if (v == nullptr) return false;
+      out->params_path = *v;
+    } else if (a == "--jobs-dir") {
+      const auto* v = need_value("--jobs-dir");
+      if (v == nullptr) return false;
+      out->jobs_dir = *v;
+    } else if (a == "--json" && json_is_flag) {
+      out->as_json = true;
+    } else if (a == "--json") {
+      const auto* v = need_value("--json");
+      if (v == nullptr) return false;
+      out->json_path = *v;
+    } else if (a == "--csv") {
+      const auto* v = need_value("--csv");
+      if (v == nullptr) return false;
+      out->csv_path = *v;
+    } else if (a == "--vary-seed") {
+      out->vary_seed = true;
+    } else if (a == "--canonical") {
+      out->canonical = true;
+    } else if (a == "--once") {
+      out->once = true;
+    } else if (a == "--quiet") {
+      out->quiet = true;
+    } else if (a == "--workers") {
+      if (!need_count("--workers", &out->workers)) return false;
+    } else if (a == "--max-retries") {
+      if (!need_count("--max-retries", &out->max_retries)) return false;
+    } else if (a == "--max-cells") {
+      if (!need_count("--max-cells", &out->max_cells)) return false;
+    } else if (a == "--poll-ms") {
+      if (!need_count("--poll-ms", &out->poll_ms)) return false;
+    } else if (!a.empty() && a[0] == '-') {
+      *error = "unknown option \"" + a + "\"";
+      return false;
+    } else {
+      out->positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+void print_status(const serve::JobStatus& st) {
+  std::printf("%s  %-24s %4zu/%-4zu cells  %s\n", st.id.c_str(),
+              st.scenario.c_str(), st.done_cells, st.total_cells,
+              st.merged ? "merged" : "incomplete");
+}
+
+json::Value status_to_json(const serve::JobStatus& st) {
+  json::Value doc = json::Value::object();
+  doc.set("id", st.id);
+  doc.set("scenario", st.scenario);
+  doc.set("total_cells", static_cast<std::int64_t>(st.total_cells));
+  doc.set("done_cells", static_cast<std::int64_t>(st.done_cells));
+  doc.set("merged", st.merged);
+  return doc;
+}
+
+int cmd_submit(const scenario::ScenarioRegistry& registry,
+               const scenario::Scenario& sc,
+               const std::vector<std::string>& args) {
+  JobCliOptions opts;
+  std::string error;
+  if (!parse_job_options(args, /*json_is_flag=*/false, &opts, &error)) {
+    return fail(error);
+  }
+  if (!opts.positional.empty()) {
+    return fail("unexpected argument \"" + opts.positional.front() + "\"");
+  }
+  serve::JobSpec job;
+  job.scenario = sc.spec().name();
+  job.base = sc.spec().defaults();
+  if (!opts.params_path.empty()) {
+    auto replayed = load_params_file(sc, opts.params_path, &error);
+    if (!replayed) return fail(error);
+    job.base = std::move(*replayed);
+  }
+  for (const auto& kv : opts.sets) {
+    if (auto err = sc.spec().apply_kv(kv, &job.base)) return fail(*err);
+  }
+  for (const auto& text : opts.sweeps) {
+    scenario::SweepAxis axis;
+    if (auto err = scenario::parse_sweep_axis(sc.spec(), text, &axis)) {
+      return fail(*err);
+    }
+    job.axes.push_back(std::move(axis));
+  }
+  job.config.vary_seed = opts.vary_seed;
+  if (opts.workers != 0) job.config.workers = opts.workers;
+  if (opts.max_retries != 0) job.config.max_retries = opts.max_retries;
+  serve::JobService service(registry, opts.jobs_dir);
+  const auto id = service.submit(job, &error);
+  if (!id) return fail(error);
+  std::printf("submitted %s (%zu cells)\n  manifest: %s/manifest.json\n",
+              id->c_str(), job.cell_count(),
+              service.job_dir(*id).c_str());
+  return 0;
+}
+
+int cmd_status(const scenario::ScenarioRegistry& registry,
+               const std::vector<std::string>& args) {
+  JobCliOptions opts;
+  std::string error;
+  if (!parse_job_options(args, /*json_is_flag=*/true, &opts, &error)) {
+    return fail(error);
+  }
+  serve::JobService service(registry, opts.jobs_dir);
+  if (opts.positional.size() > 1) return fail("status takes one job id");
+  if (opts.positional.size() == 1) {
+    auto st = service.status(opts.positional.front(), &error);
+    if (!st) return fail(error);
+    if (opts.as_json) {
+      std::printf("%s\n", status_to_json(*st).dump(2).c_str());
+    } else {
+      print_status(*st);
+    }
+    return 0;
+  }
+  const auto jobs = service.list(&error);
+  if (opts.as_json) {
+    json::Value doc = json::Value::array();
+    for (const auto& st : jobs) doc.push_back(status_to_json(st));
+    std::printf("%s\n", doc.dump(2).c_str());
+    return 0;
+  }
+  if (jobs.empty()) {
+    std::printf("no jobs in %s\n", opts.jobs_dir.c_str());
+    return 0;
+  }
+  for (const auto& st : jobs) print_status(st);
+  return 0;
+}
+
+int run_one_job(serve::JobService& service, const std::string& id,
+                const JobCliOptions& opts, std::string* error) {
+  serve::RunOptions run_opts;
+  run_opts.workers = opts.workers;
+  run_opts.max_retries = opts.max_retries;
+  run_opts.max_cells = opts.max_cells;
+  const auto stats = service.run(id, run_opts, error);
+  if (!stats) return 2;
+  if (!opts.quiet) {
+    std::printf(
+        "%s: %zu cells, %zu already done, %zu executed"
+        " (%zu worker respawns)%s\n",
+        id.c_str(), stats->total_cells, stats->already_done,
+        stats->executed, stats->respawns,
+        stats->completed ? ", merged" : "");
+  }
+  if (!error->empty()) {
+    // Non-fatal completion note (e.g. deterministic cell failures).
+    std::fprintf(stderr, "leakctl: %s: %s\n", id.c_str(), error->c_str());
+    error->clear();
+  }
+  return 0;
+}
+
+int cmd_resume(const scenario::ScenarioRegistry& registry,
+               const std::vector<std::string>& args) {
+  JobCliOptions opts;
+  std::string error;
+  if (!parse_job_options(args, /*json_is_flag=*/false, &opts, &error)) {
+    return fail(error);
+  }
+  if (opts.positional.size() != 1) return fail("resume needs one job id");
+  serve::JobService service(registry, opts.jobs_dir);
+  const int rc =
+      run_one_job(service, opts.positional.front(), opts, &error);
+  if (rc != 0) return fail(error);
+  return 0;
+}
+
+int cmd_results(const scenario::ScenarioRegistry& registry,
+                const std::vector<std::string>& args) {
+  JobCliOptions opts;
+  std::string error;
+  if (!parse_job_options(args, /*json_is_flag=*/false, &opts, &error)) {
+    return fail(error);
+  }
+  if (opts.positional.size() != 1) return fail("results needs one job id");
+  serve::JobService service(registry, opts.jobs_dir);
+  const auto merged =
+      service.merged(opts.positional.front(), opts.canonical, &error);
+  if (!merged) return fail(error);
+  if (opts.json_path.empty() && opts.csv_path.empty()) {
+    std::printf("%s\n", merged->dump(2).c_str());
+    return 0;
+  }
+  CliOptions emit;
+  emit.json_path = opts.json_path;
+  emit.csv_path = opts.csv_path;
+  return emit_artifacts(*merged, serve::JobService::merged_to_csv(*merged),
+                        emit);
+}
+
+int cmd_serve(const scenario::ScenarioRegistry& registry,
+              const std::vector<std::string>& args) {
+  JobCliOptions opts;
+  std::string error;
+  if (!parse_job_options(args, /*json_is_flag=*/false, &opts, &error)) {
+    return fail(error);
+  }
+  if (!opts.positional.empty()) {
+    return fail("unexpected argument \"" + opts.positional.front() + "\"");
+  }
+  serve::JobService service(registry, opts.jobs_dir);
+  for (;;) {
+    const auto jobs = service.list(&error);
+    for (const auto& st : jobs) {
+      if (st.merged) continue;
+      if (run_one_job(service, st.id, opts, &error) != 0) {
+        std::fprintf(stderr, "leakctl: %s: %s\n", st.id.c_str(),
+                     error.c_str());
+        error.clear();
+      }
+    }
+    if (opts.once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,7 +655,12 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
 
   if (cmd == "list") return cmd_list(registry, args);
-  if (cmd != "describe" && cmd != "run" && cmd != "sweep") {
+  if (cmd == "status") return cmd_status(registry, args);
+  if (cmd == "resume") return cmd_resume(registry, args);
+  if (cmd == "results") return cmd_results(registry, args);
+  if (cmd == "serve") return cmd_serve(registry, args);
+  if (cmd != "describe" && cmd != "run" && cmd != "sweep" &&
+      cmd != "submit") {
     return usage(argv[0]);
   }
   if (args.empty()) return fail(cmd + " needs a scenario name");
@@ -337,5 +673,6 @@ int main(int argc, char** argv) {
   }
   if (cmd == "describe") return cmd_describe(*sc, args);
   if (cmd == "run") return cmd_run(*sc, args);
+  if (cmd == "submit") return cmd_submit(registry, *sc, args);
   return cmd_sweep(*sc, args);
 }

@@ -134,6 +134,143 @@ std::vector<ParamSet> expand_sweep(const ParamSet& base,
   return cells;
 }
 
+ParamSet sweep_cell_params(const ParamSet& base,
+                           const std::vector<SweepAxis>& axes,
+                           std::size_t index, bool vary_seed) {
+  ParamSet cell = base;
+  std::size_t rem = index;
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const auto& axis = axes[a];
+    cell.set(axis.param, axis.values[rem % axis.values.size()]);
+    rem /= axis.values.size();
+  }
+  if (vary_seed) {
+    // An axis sweeping `seed` itself wins over the derived per-cell
+    // seed (matching run_sweep's historical behaviour).
+    bool axes_sweep_seed = false;
+    for (const auto& a : axes) {
+      if (a.param == "seed") axes_sweep_seed = true;
+    }
+    if (!axes_sweep_seed) {
+      const StreamSeeder seeder(
+          static_cast<std::uint64_t>(base.get_int("seed")));
+      cell.set("seed",
+               static_cast<std::int64_t>(seeder.seed_for(index) >> 1));
+    }
+  }
+  return cell;
+}
+
+json::Value axes_to_json(const std::vector<SweepAxis>& axes) {
+  json::Value doc = json::Value::array();
+  for (const auto& a : axes) {
+    json::Value one = json::Value::object();
+    one.set("param", a.param);
+    json::Value vals = json::Value::array();
+    for (const auto& v : a.values) {
+      std::visit([&vals](const auto& x) { vals.push_back(json::Value(x)); },
+                 v);
+    }
+    one.set("values", std::move(vals));
+    doc.push_back(std::move(one));
+  }
+  return doc;
+}
+
+std::optional<std::vector<SweepAxis>> axes_from_json(const ScenarioSpec& spec,
+                                                     const json::Value& doc,
+                                                     std::string* error) {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (!doc.is_array()) return fail("\"axes\" must be an array");
+  std::vector<SweepAxis> axes;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const json::Value& entry = doc.at(i);
+    if (!entry.is_object()) {
+      return fail("axes[" + std::to_string(i) + "] must be an object");
+    }
+    const json::Value* param = entry.find("param");
+    const json::Value* values = entry.find("values");
+    if (param == nullptr || !param->is_string() || values == nullptr ||
+        !values->is_array()) {
+      return fail("axes[" + std::to_string(i) +
+                  "] needs a \"param\" string and a \"values\" array");
+    }
+    for (const auto& [key, unused] : entry.as_object()) {
+      (void)unused;
+      if (key != "param" && key != "values") {
+        return fail("axes[" + std::to_string(i) + "]: unknown key \"" + key +
+                    "\"");
+      }
+    }
+    SweepAxis axis;
+    axis.param = param->as_string();
+    const ParamSpec* p = spec.find(axis.param);
+    if (p == nullptr) {
+      return fail("sweep axis \"" + axis.param +
+                  "\" is not a parameter of scenario \"" + spec.name() +
+                  "\"");
+    }
+    if (values->size() == 0) {
+      return fail("sweep axis \"" + axis.param + "\" has no values");
+    }
+    for (std::size_t j = 0; j < values->size(); ++j) {
+      const json::Value& v = values->at(j);
+      ParamValue out;
+      if (v.is_string() && p->type != ParamType::kString) {
+        // Stringly-typed values (SweepResult::to_json archives) go
+        // through the spec's own parser, same as the CLI would.
+        if (auto err = spec.parse_value(axis.param, v.as_string(), &out)) {
+          return fail(*err);
+        }
+        axis.values.push_back(std::move(out));
+        continue;
+      }
+      switch (p->type) {
+        case ParamType::kInt:
+          if (!v.is_int()) {
+            return fail("sweep axis \"" + axis.param + "\" value " +
+                        std::to_string(j) + " must be an integer");
+          }
+          out = v.as_int();
+          break;
+        case ParamType::kDouble:
+          if (!v.is_number()) {
+            return fail("sweep axis \"" + axis.param + "\" value " +
+                        std::to_string(j) + " must be a number");
+          }
+          out = v.as_double();
+          break;
+        case ParamType::kBool:
+          if (!v.is_bool()) {
+            return fail("sweep axis \"" + axis.param + "\" value " +
+                        std::to_string(j) + " must be a bool");
+          }
+          out = v.as_bool();
+          break;
+        case ParamType::kString:
+          if (!v.is_string()) {
+            return fail("sweep axis \"" + axis.param + "\" value " +
+                        std::to_string(j) + " must be a string");
+          }
+          out = v.as_string();
+          break;
+      }
+      // Range/choice constraints through the spec's own validator.
+      if (auto err = spec.parse_value(axis.param,
+                                      ParamSet::value_to_string(out),
+                                      nullptr)) {
+        return fail(*err);
+      }
+      axis.values.push_back(std::move(out));
+    }
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
 SweepResult run_sweep(const Scenario& scenario, const ParamSet& base,
                       std::vector<SweepAxis> axes,
                       const SweepConfig& config) {
@@ -155,21 +292,15 @@ SweepResult run_sweep(const Scenario& scenario, const ParamSet& base,
   SweepResult out;
   out.scenario = scenario.spec().name();
   out.axes = std::move(axes);
-  auto cells = expand_sweep(base, out.axes);
-
-  const StreamSeeder seeder(
-      static_cast<std::uint64_t>(base.get_int("seed")));
-  const bool axes_sweep_seed = [&] {
-    for (const auto& a : out.axes) {
-      if (a.param == "seed") return true;
-    }
-    return false;
-  }();
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (config.vary_seed && !axes_sweep_seed) {
-      cells[i].set("seed",
-                   static_cast<std::int64_t>(seeder.seed_for(i) >> 1));
-    }
+  // Cells come from the one canonical identity function — the same
+  // one the serve job ledger uses — so a served cell re-runs
+  // bit-identically to a foreground sweep cell.
+  const std::size_t n = sweep_cell_count(out.axes);
+  std::vector<ParamSet> cells;
+  cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells.push_back(
+        sweep_cell_params(base, out.axes, i, config.vary_seed));
   }
 
   out.cells.resize(cells.size());

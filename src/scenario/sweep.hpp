@@ -79,6 +79,29 @@ struct SweepResult {
 [[nodiscard]] std::vector<ParamSet> expand_sweep(
     const ParamSet& base, const std::vector<SweepAxis>& axes);
 
+/// The canonical cell identity: the full parameter set of cell `index`
+/// in the row-major expansion (last axis fastest), including the
+/// vary_seed per-cell seed derivation (StreamSeeder over (base seed,
+/// index), skipped when an axis sweeps `seed` itself).  run_sweep and
+/// the serve job ledger both derive cells through this one function,
+/// so a cell re-run by a resumed job is bit-identical to the same cell
+/// of an uninterrupted sweep.  `index` must be < sweep_cell_count.
+[[nodiscard]] ParamSet sweep_cell_params(const ParamSet& base,
+                                         const std::vector<SweepAxis>& axes,
+                                         std::size_t index, bool vary_seed);
+
+/// Serialize axes with typed values ([{"param": "beta0",
+/// "values": [0.3, 0.33]}, ...]) — the job-manifest wire form.
+[[nodiscard]] json::Value axes_to_json(const std::vector<SweepAxis>& axes);
+
+/// Inverse of axes_to_json, validated against `spec`: every axis must
+/// name a declared parameter (unknown names are rejected here, not at
+/// cell-run time) and every value must pass the spec's range/choice
+/// constraints.  Returns nullopt and sets `error` on failure.
+[[nodiscard]] std::optional<std::vector<SweepAxis>> axes_from_json(
+    const ScenarioSpec& spec, const json::Value& doc,
+    std::string* error = nullptr);
+
 /// Run the batch.  Throws std::invalid_argument on an invalid base or
 /// axis (validated against scenario.spec() up front).
 [[nodiscard]] SweepResult run_sweep(const Scenario& scenario,

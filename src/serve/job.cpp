@@ -1,0 +1,115 @@
+#include "src/serve/job.hpp"
+
+#include "src/crypto/sha256.hpp"
+#include "src/support/crc32.hpp"
+
+namespace leak::serve {
+
+namespace {
+
+/// The identity core: everything that determines the numbers.
+[[nodiscard]] json::Value identity_json(const JobSpec& job) {
+  json::Value doc = json::Value::object();
+  doc.set("scenario", job.scenario);
+  doc.set("params", job.base.to_json());
+  doc.set("axes", scenario::axes_to_json(job.axes));
+  doc.set("vary_seed", job.config.vary_seed);
+  return doc;
+}
+
+}  // namespace
+
+scenario::ParamSet JobSpec::cell_params(std::size_t index) const {
+  scenario::ParamSet cell =
+      scenario::sweep_cell_params(base, axes, index, config.vary_seed);
+  cell.set("threads", std::int64_t{1});
+  return cell;
+}
+
+std::string JobSpec::id() const {
+  const auto digest = crypto::sha256(identity_json(*this).dump());
+  return crypto::to_hex(digest).substr(0, 16);
+}
+
+std::uint32_t JobSpec::cell_fingerprint(std::size_t index) const {
+  return crc32::of(scenario + "\n" + cell_params(index).to_json().dump());
+}
+
+json::Value JobSpec::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("version", std::int64_t{1});
+  doc.set("scenario", scenario);
+  doc.set("params", base.to_json());
+  doc.set("axes", scenario::axes_to_json(axes));
+  json::Value cfg = json::Value::object();
+  cfg.set("vary_seed", config.vary_seed);
+  cfg.set("workers", static_cast<std::int64_t>(config.workers));
+  cfg.set("max_retries", static_cast<std::int64_t>(config.max_retries));
+  doc.set("config", std::move(cfg));
+  return doc;
+}
+
+std::optional<JobSpec> JobSpec::from_json(
+    const scenario::ScenarioRegistry& registry, const json::Value& doc,
+    std::string* error) {
+  const auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("job manifest must be a JSON object");
+  const json::Value* version = doc.find("version");
+  if (version != nullptr && (!version->is_int() || version->as_int() != 1)) {
+    return fail("unsupported job manifest version");
+  }
+  const json::Value* name = doc.find("scenario");
+  if (name == nullptr || !name->is_string()) {
+    return fail("job manifest needs a \"scenario\" string");
+  }
+  const scenario::Scenario* sc = registry.find(name->as_string());
+  if (sc == nullptr) {
+    return fail("unknown scenario \"" + name->as_string() + "\"");
+  }
+
+  JobSpec job;
+  job.scenario = name->as_string();
+
+  std::string sub_error;
+  const json::Value* params = doc.find("params");
+  if (params != nullptr) {
+    auto set = sc->spec().params_from_json(*params, &sub_error);
+    if (!set) return fail("params: " + sub_error);
+    job.base = std::move(*set);
+  } else {
+    job.base = sc->spec().defaults();
+  }
+
+  const json::Value* axes = doc.find("axes");
+  if (axes != nullptr) {
+    auto parsed = scenario::axes_from_json(sc->spec(), *axes, &sub_error);
+    if (!parsed) return fail(sub_error);
+    job.axes = std::move(*parsed);
+  }
+
+  const json::Value* cfg = doc.find("config");
+  if (cfg != nullptr) {
+    if (!cfg->is_object()) return fail("\"config\" must be an object");
+    for (const auto& [key, value] : cfg->as_object()) {
+      if (key == "vary_seed" && value.is_bool()) {
+        job.config.vary_seed = value.as_bool();
+      } else if (key == "workers" && value.is_int() && value.as_int() > 0) {
+        job.config.workers = static_cast<unsigned>(value.as_int());
+      } else if (key == "max_retries" && value.is_int() &&
+                 value.as_int() >= 0) {
+        job.config.max_retries = static_cast<unsigned>(value.as_int());
+      } else {
+        return fail("config: unknown or ill-typed key \"" + key + "\"");
+      }
+    }
+  }
+  if (auto err = sc->spec().validate(job.base)) {
+    return fail("params: " + *err);
+  }
+  return job;
+}
+
+}  // namespace leak::serve

@@ -1,0 +1,81 @@
+// Append-only JSONL results store: the durable half of the sweep
+// service.  Every completed sweep cell is one CRC-framed line
+//
+//   <crc32 hex of payload> <compact JSON payload>\n
+//
+// appended with a single write(2) and fsync'd, so the store survives
+// kill -9 at any instant with at most one torn tail line.  scan()
+// stops at the first invalid line (bad frame, CRC mismatch, missing
+// newline) and reports where the valid prefix ends; repair()
+// truncates the torn tail so appends continue from a clean boundary.
+// One writer at a time (the service process) — readers are safe at
+// any time because a record is only visible once its newline landed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/json.hpp"
+
+namespace leak::serve {
+
+/// One validated record scanned from the store.
+struct StoreRecord {
+  json::Value payload;
+  std::size_t offset = 0;  ///< byte offset of the line start
+};
+
+/// Result of a full scan: the valid record prefix plus where it ends.
+struct StoreScan {
+  std::vector<StoreRecord> records;
+  std::size_t valid_bytes = 0;  ///< offset one past the last valid line
+  bool torn_tail = false;       ///< bytes after valid_bytes were dropped
+};
+
+class ResultsStore {
+ public:
+  explicit ResultsStore(std::string path);
+  ~ResultsStore();
+
+  ResultsStore(const ResultsStore&) = delete;
+  ResultsStore& operator=(const ResultsStore&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Append one payload as a framed line (O_APPEND, one write call);
+  /// fsyncs before returning when `sync`.  Returns false on I/O error.
+  [[nodiscard]] bool append(const json::Value& payload, bool sync = true);
+
+  /// Append an already-framed line (as produced by frame(), without
+  /// the trailing newline), re-validating it first.  This is the
+  /// worker-protocol fast path: workers send framed lines over their
+  /// result pipe and the service appends them verbatim.
+  [[nodiscard]] bool append_framed(std::string_view line, bool sync = true);
+
+  /// Scan from the start.  A missing file scans as empty (not an
+  /// error).  Never modifies the file.
+  [[nodiscard]] StoreScan scan(std::string* error = nullptr) const;
+
+  /// Truncate any torn tail so the file ends at the last valid
+  /// record.  Returns false on I/O error.
+  [[nodiscard]] bool repair(std::string* error = nullptr);
+
+  /// Frame one payload: "<crc32 hex> <compact JSON>" (no newline).
+  [[nodiscard]] static std::string frame(const json::Value& payload);
+
+  /// Parse one framed line (no newline); nullopt when the frame is
+  /// malformed, the CRC mismatches, or the payload is not valid JSON.
+  [[nodiscard]] static std::optional<json::Value> unframe(
+      std::string_view line);
+
+ private:
+  [[nodiscard]] bool write_line(std::string_view line, bool sync);
+
+  std::string path_;
+  int fd_ = -1;  ///< lazily-opened append fd, owned
+};
+
+}  // namespace leak::serve

@@ -1,0 +1,77 @@
+// Worker subprocesses for the sweep service.  The service forks one
+// worker per shard slot; each worker owns two pipes:
+//
+//   task pipe    parent -> child    "RUN <cell>\n" | "EXIT\n"
+//   result pipe  child  -> parent   one CRC-framed record line per
+//                                   completed cell (store.hpp framing)
+//
+// The child never execs: it runs run_worker_loop() against the
+// manifest it inherited and _exit()s.  Workers never touch the
+// results store — the service is the single writer — so a worker
+// killed at any instant costs at most its in-flight cell, which the
+// service re-runs (bit-identically, by StreamSeeder cell identity)
+// on a respawned worker.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/scenario/registry.hpp"
+#include "src/serve/job.hpp"
+#include "src/support/json.hpp"
+
+namespace leak::serve {
+
+/// Parent-side handle to one worker subprocess.
+struct Worker {
+  pid_t pid = -1;
+  int task_fd = -1;    ///< parent writes task lines here
+  int result_fd = -1;  ///< parent reads framed record lines here
+  std::string buf;     ///< partial-line read buffer
+  std::optional<std::size_t> in_flight;  ///< assigned cell, if any
+  unsigned generation = 0;
+  bool exiting = false;  ///< EXIT sent, waiting for EOF
+
+  /// Close both pipe ends (idempotent).
+  void close_fds();
+};
+
+/// Options threaded through to the child loop.
+struct WorkerOptions {
+  unsigned generation = 0;
+  /// Test hook (0 = off): a generation-0 worker _exit(42)s instead of
+  /// running its (n+1)-th cell, losing the in-flight assignment —
+  /// deterministic coverage for the service's retry-on-worker-death
+  /// path.  Respawned generations run normally.
+  unsigned test_abort_after = 0;
+};
+
+/// Fork a worker for `job`.  In the parent: returns the handle (or
+/// nullopt with `error` set).  In the child: never returns.
+/// `close_in_child` lists parent-side fds the child must close so
+/// sibling pipes don't keep each other alive.
+[[nodiscard]] std::optional<Worker> spawn_worker(
+    const scenario::Scenario& sc, const JobSpec& job,
+    const WorkerOptions& options, const std::vector<int>& close_in_child,
+    std::string* error);
+
+/// Send "RUN <cell>" / "EXIT" on the task pipe.  false on a dead pipe
+/// (the worker is gone; the service reaps it via the result-pipe EOF).
+[[nodiscard]] bool send_task(Worker& worker, std::size_t cell);
+[[nodiscard]] bool send_exit(Worker& worker);
+
+/// The record payload a worker emits for one completed cell:
+/// {"type": "cell", "job": <id>, "cell": <index>, "fp": <crc32 hex>,
+///  "result": <ScenarioResult JSON>}.  Exposed for tests.
+[[nodiscard]] json::Value cell_record(const JobSpec& job, std::size_t index,
+                                      const scenario::ScenarioResult& result);
+
+/// The payload for a cell whose run threw: {"type": "error", ...}.
+[[nodiscard]] json::Value error_record(const JobSpec& job, std::size_t index,
+                                       const std::string& what);
+
+}  // namespace leak::serve

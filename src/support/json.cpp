@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace leak::json {
@@ -530,6 +532,24 @@ class Parser {
 
 std::optional<Value> Value::parse(std::string_view text, std::string* error) {
   return Parser(text).run(error);
+}
+
+std::optional<Value> Value::load_file(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot read";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  auto doc = parse(buf.str(), &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  return doc;
 }
 
 }  // namespace leak::json

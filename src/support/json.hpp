@@ -106,6 +106,13 @@ class Value {
   [[nodiscard]] static std::optional<Value> parse(std::string_view text,
                                                   std::string* error = nullptr);
 
+  /// Read and parse a JSON document from a file.  On failure returns
+  /// nullopt and, when `error` is non-null, a message prefixed with
+  /// the path.  Shared by the leakctl --params replay, the serve job
+  /// manifests, and the baseline tooling.
+  [[nodiscard]] static std::optional<Value> load_file(
+      const std::string& path, std::string* error = nullptr);
+
   friend bool operator==(const Value& a, const Value& b);
 
  private:

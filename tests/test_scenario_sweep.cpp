@@ -257,6 +257,103 @@ TEST(SweepRunTest, SweepJsonAndCsvArtifactsAreWellFormed) {
   EXPECT_EQ(csv->headers().front(), "k_max");
 }
 
+// sweep_cell_params is the canonical cell identity shared with the
+// serve job ledger: index i must reproduce run_sweep's cell i exactly,
+// with and without vary_seed.
+TEST(SweepCellParamsTest, MatchesRunSweepCellsExactly) {
+  auto base = mc_scenario().spec().defaults();
+  base.set("paths", std::int64_t{20});
+  base.set("epochs", std::int64_t{100});
+  SweepAxis beta_axis, p0_axis;
+  ASSERT_FALSE(parse_sweep_axis(mc_scenario().spec(), "beta0=0.3,0.33",
+                                &beta_axis)
+                   .has_value());
+  ASSERT_FALSE(parse_sweep_axis(mc_scenario().spec(), "p0=0.4,0.5,0.6",
+                                &p0_axis)
+                   .has_value());
+  for (const bool vary_seed : {false, true}) {
+    SweepConfig config;
+    config.vary_seed = vary_seed;
+    const auto sweep =
+        run_sweep(mc_scenario(), base, {beta_axis, p0_axis}, config);
+    ASSERT_EQ(sweep.cells.size(), 6u);
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+      EXPECT_EQ(sweep_cell_params(base, {beta_axis, p0_axis}, i, vary_seed),
+                sweep.cells[i].params)
+          << "cell " << i << " vary_seed " << vary_seed;
+    }
+  }
+}
+
+TEST(SweepCellParamsTest, SeedAxisWinsOverVarySeed) {
+  auto base = mc_scenario().spec().defaults();
+  SweepAxis seed_axis;
+  ASSERT_FALSE(parse_sweep_axis(mc_scenario().spec(), "seed=7,8,9",
+                                &seed_axis)
+                   .has_value());
+  const auto cell =
+      sweep_cell_params(base, {seed_axis}, 1, /*vary_seed=*/true);
+  EXPECT_EQ(cell.get_int("seed"), 8);
+}
+
+TEST(SweepAxesJsonTest, RoundTripsTypedValues) {
+  SweepAxis beta_axis, paths_axis;
+  ASSERT_FALSE(parse_sweep_axis(mc_scenario().spec(), "beta0=0.3,0.33",
+                                &beta_axis)
+                   .has_value());
+  ASSERT_FALSE(parse_sweep_axis(mc_scenario().spec(), "paths=50,100",
+                                &paths_axis)
+                   .has_value());
+  const std::vector<SweepAxis> axes = {beta_axis, paths_axis};
+  const json::Value doc = axes_to_json(axes);
+  std::string error;
+  const auto back = axes_from_json(mc_scenario().spec(), doc, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].param, "beta0");
+  EXPECT_EQ(std::get<double>((*back)[0].values[1]), 0.33);
+  EXPECT_EQ(std::get<std::int64_t>((*back)[1].values[0]), 50);
+  // Serializing the parsed form reproduces the document exactly.
+  EXPECT_EQ(axes_to_json(*back).dump(), doc.dump());
+}
+
+TEST(SweepAxesJsonTest, AcceptsStringlyValuesViaSpecParser) {
+  // SweepResult::to_json archives values as strings; the parser
+  // accepts them through the spec's own value parser.
+  const auto doc = json::Value::parse(
+      R"([{"param": "beta0", "values": ["0.3", "0.33"]}])");
+  ASSERT_TRUE(doc.has_value());
+  const auto axes = axes_from_json(mc_scenario().spec(), *doc);
+  ASSERT_TRUE(axes.has_value());
+  EXPECT_EQ(std::get<double>((*axes)[0].values[1]), 0.33);
+}
+
+TEST(SweepAxesJsonTest, RejectsUnknownParamsAndBadValues) {
+  std::string error;
+  const auto unknown = json::Value::parse(
+      R"([{"param": "zebra", "values": [1]}])");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_FALSE(
+      axes_from_json(mc_scenario().spec(), *unknown, &error).has_value());
+  EXPECT_NE(error.find("zebra"), std::string::npos);
+  EXPECT_NE(error.find("not a parameter"), std::string::npos);
+
+  for (const char* bad : {
+           R"([{"param": "beta0", "values": []}])",        // empty axis
+           R"([{"param": "beta0", "values": [0.9]}])",     // out of range
+           R"([{"param": "beta0", "values": [true]}])",    // ill-typed
+           R"([{"param": "beta0", "values": [0.3], "x": 1}])",  // junk key
+           R"([{"param": "beta0"}])",                      // no values
+           R"({"param": "beta0", "values": [0.3]})",       // not an array
+       }) {
+    const auto doc = json::Value::parse(bad);
+    ASSERT_TRUE(doc.has_value()) << bad;
+    EXPECT_FALSE(
+        axes_from_json(mc_scenario().spec(), *doc, &error).has_value())
+        << bad;
+  }
+}
+
 TEST(SweepRunTest, InvalidBaseOrAxisThrows) {
   auto base = mc_scenario().spec().defaults();
   base.set("beta0", 0.9);  // out of range

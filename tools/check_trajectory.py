@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Cross-PR benchmark trajectory: append-only, CRC-framed, checkable.
+
+`bench/run_benchmarks.sh` produces BENCH_results.json -- a one-shot
+snapshot.  This tool turns those snapshots into a trajectory: each
+`append` adds one framed record to `bench/trajectory.jsonl`, and
+`check` compares a fresh snapshot against the newest committed record,
+failing when any benchmark's cpu time regressed beyond --max-regress.
+
+The store uses the exact line framing of the serve results store
+(src/serve/store.hpp): `<8-hex crc32> <compact JSON>\\n`, crc32 over
+the JSON bytes with the zlib polynomial -- so Python's zlib.crc32
+validates records written by the C++ side and vice versa, and a torn
+tail (crash mid-append) invalidates only the last line.
+
+Usage:
+  tools/check_trajectory.py append RESULTS_JSON [--label TEXT]
+  tools/check_trajectory.py check  RESULTS_JSON [--max-regress 1.5]
+  tools/check_trajectory.py show
+Common flags: [--store bench/trajectory.jsonl]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import zlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_STORE = REPO_ROOT / "bench" / "trajectory.jsonl"
+
+# Multipliers to nanoseconds for google-benchmark time units.
+TIME_UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def frame(payload):
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n"
+
+
+def unframe(line):
+    """Return the decoded payload, or None for an invalid/torn line."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:].rstrip("\n")
+    if zlib.crc32(body.encode()) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError:
+        return None
+
+
+def scan(store):
+    """All valid records up to the first invalid line (torn tail)."""
+    if not store.exists():
+        return []
+    records = []
+    for i, line in enumerate(store.read_text().splitlines(keepends=True)):
+        payload = unframe(line)
+        if payload is None or not line.endswith("\n"):
+            print(
+                f"note: {store}: ignoring torn/invalid tail at line {i + 1}",
+                file=sys.stderr,
+            )
+            break
+        records.append(payload)
+    return records
+
+
+def snapshot(results_path, label):
+    """Distill BENCH_results.json into one trajectory record."""
+    data = json.loads(pathlib.Path(results_path).read_text())
+    benches = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNITS.get(b.get("time_unit", "ns"))
+        if unit is None or "cpu_time" not in b:
+            continue
+        key = f"{b.get('binary', '?')}::{b['name']}"
+        benches[key] = round(b["cpu_time"] * unit, 3)
+    if not benches:
+        sys.exit(f"error: {results_path} contains no benchmark timings")
+    context = data.get("context", {})
+    return {
+        "label": label,
+        "date": context.get("date", ""),
+        "host": context.get("host_name", ""),
+        "cpu_time_ns": benches,
+    }
+
+
+def cmd_append(args):
+    record = snapshot(args.results, args.label)
+    with open(args.store, "a") as fh:
+        fh.write(frame(record))
+    print(
+        f"appended to {args.store}: {len(record['cpu_time_ns'])} benchmarks"
+        f" (record {len(scan(args.store))})"
+    )
+
+
+def cmd_check(args):
+    records = scan(args.store)
+    if not records:
+        sys.exit(
+            f"error: {args.store} has no valid records - seed it with "
+            "`tools/check_trajectory.py append BENCH_results.json`"
+        )
+    base = records[-1]["cpu_time_ns"]
+    fresh = snapshot(args.results, "check")["cpu_time_ns"]
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        sys.exit("error: no benchmarks in common with the last record")
+    regressions = []
+    for key in shared:
+        if base[key] > 0 and fresh[key] > base[key] * args.max_regress:
+            regressions.append((key, base[key], fresh[key]))
+    print(
+        f"{len(shared)} benchmarks compared against record"
+        f" {len(records)} ({records[-1].get('label') or 'unlabelled'})"
+    )
+    if regressions:
+        for key, old, new in regressions:
+            print(
+                f"  REGRESSED {key}: {old:.0f}ns -> {new:.0f}ns"
+                f" ({new / old:.2f}x, limit {args.max_regress:.2f}x)",
+                file=sys.stderr,
+            )
+        sys.exit(f"error: {len(regressions)} benchmark(s) regressed")
+    print(f"no regression beyond {args.max_regress:.2f}x")
+
+
+def cmd_show(args):
+    for i, rec in enumerate(scan(args.store), start=1):
+        print(
+            f"{i:3d}  {rec.get('date', ''):25s} "
+            f"{rec.get('label') or 'unlabelled':20s} "
+            f"{len(rec.get('cpu_time_ns', {}))} benchmarks"
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--store", type=pathlib.Path, default=DEFAULT_STORE)
+    sub = ap.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("append", help="record a BENCH_results.json snapshot")
+    p.add_argument("results")
+    p.add_argument("--label", default="")
+    p.set_defaults(func=cmd_append)
+    p = sub.add_parser("check", help="compare a snapshot to the last record")
+    p.add_argument("results")
+    p.add_argument(
+        "--max-regress", type=float, default=1.5,
+        help="fail when cpu time exceeds last record by this factor",
+    )
+    p.set_defaults(func=cmd_check)
+    p = sub.add_parser("show", help="list the recorded trajectory")
+    p.set_defaults(func=cmd_show)
+    args = ap.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

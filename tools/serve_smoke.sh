@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the `leakctl serve` job family (CI runs this in
+# the scenario-matrix job; it is also the quickest local check that
+# the durable-sweep contract holds on this machine).
+#
+# The contract it proves, with real subprocesses and a real store:
+#
+#   1. An interrupted run (here: --max-cells budget exhaustion, plus a
+#      deliberately torn record tail) resumes to a merged result that
+#      is BYTE-IDENTICAL (canonical form) to an uninterrupted run of
+#      the same job in a fresh store.
+#   2. Resuming an already-complete job executes zero cells.
+#
+# Usage: tools/serve_smoke.sh [-b BUILD_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -b) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [-b BUILD_DIR]" >&2; exit 2 ;;
+  esac
+done
+
+LEAKCTL="${BUILD_DIR}/examples/leakctl"
+if [[ ! -x "${LEAKCTL}" ]]; then
+  echo "error: ${LEAKCTL} not found - build it first:" >&2
+  echo "  cmake -B \"${BUILD_DIR}\" -S \"${REPO_ROOT}\" && cmake --build \"${BUILD_DIR}\" --target leakctl -j" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/leak_serve_smoke.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+
+JOB_ARGS=(bouncing-mc --set paths=200 --set epochs=800
+          --sweep beta0=0.3,0.33,0.35 --sweep p0=0.4,0.5 --workers 2)
+
+echo "== clean reference run (${WORK}/clean) =="
+"${LEAKCTL}" submit "${JOB_ARGS[@]}" --jobs-dir "${WORK}/clean"
+JOB_ID="$("${LEAKCTL}" status --jobs-dir "${WORK}/clean" --json \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)[0]["id"])')"
+"${LEAKCTL}" resume "${JOB_ID}" --jobs-dir "${WORK}/clean"
+"${LEAKCTL}" results "${JOB_ID}" --jobs-dir "${WORK}/clean" \
+  --canonical --json "${WORK}/reference.json"
+
+echo "== interrupted run (${WORK}/hostile): 2-cell budget, then a torn tail =="
+"${LEAKCTL}" submit "${JOB_ARGS[@]}" --jobs-dir "${WORK}/hostile"
+"${LEAKCTL}" resume "${JOB_ID}" --jobs-dir "${WORK}/hostile" --max-cells 2
+if "${LEAKCTL}" results "${JOB_ID}" --jobs-dir "${WORK}/hostile" \
+     --json - >/dev/null 2>&1; then
+  echo "FAIL: interrupted job must not have a merged result yet" >&2
+  exit 1
+fi
+# Simulate a crash mid-append: a half-written record with no newline.
+printf '12345678 {"half' >> "${WORK}/hostile/${JOB_ID}/results.jsonl"
+
+echo "== resume to completion =="
+"${LEAKCTL}" resume "${JOB_ID}" --jobs-dir "${WORK}/hostile"
+"${LEAKCTL}" results "${JOB_ID}" --jobs-dir "${WORK}/hostile" \
+  --canonical --json "${WORK}/resumed.json"
+
+if ! cmp "${WORK}/reference.json" "${WORK}/resumed.json"; then
+  echo "FAIL: resumed merged result differs from the clean run" >&2
+  exit 1
+fi
+echo "merged results are bit-identical (clean vs interrupted+resumed)"
+
+echo "== a completed job re-runs zero cells =="
+RERUN="$("${LEAKCTL}" resume "${JOB_ID}" --jobs-dir "${WORK}/hostile")"
+echo "${RERUN}"
+if [[ "${RERUN}" != *" 0 executed"* ]]; then
+  echo "FAIL: resume of a complete job executed cells: ${RERUN}" >&2
+  exit 1
+fi
+
+"${LEAKCTL}" status --jobs-dir "${WORK}/hostile"
+echo "serve smoke: OK"
