@@ -1,0 +1,92 @@
+// Search infrastructure: the optimizer's inner loop — grid seeding
+// plus pattern descent over a cheap analytic objective — and the warm
+// journal-resume path (every candidate replayed from the evaluation
+// cache).  The inner loop's overhead per candidate bounds how cheap a
+// scenario has to be before `leakctl search` bookkeeping, rather than
+// simulation, dominates.
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "src/scenario/registry.hpp"
+#include "src/search/objective.hpp"
+#include "src/search/search.hpp"
+
+namespace {
+
+using namespace leak;
+
+[[nodiscard]] search::ResolvedSearch cheap_search() {
+  std::string error;
+  auto resolved = search::resolve_search(
+      scenario::builtin_registry(), "semiactive-sweep:beta_max:max",
+      {"branches=2:6:1", "beta0=0.26:0.34:0.02"},
+      {"paths=16", "epochs=300"}, &error);
+  if (!resolved) std::abort();
+  return *resolved;
+}
+
+void report() {
+  bench::print_header("Adversary search: inner-loop shape");
+  const auto resolved = cheap_search();
+  const auto& sc =
+      *scenario::builtin_registry().find(resolved.objective.scenario);
+  search::SearchOptions opts;
+  opts.budget = 16;
+  const auto result = search::run_search(sc, resolved.objective,
+                                         resolved.axes, opts);
+  Table t({"quantity", "value"});
+  t.add_row({"grid candidates", std::to_string(result.grid_size)});
+  t.add_row({"budget", std::to_string(result.budget)});
+  t.add_row({"evaluations used", std::to_string(result.evaluations)});
+  t.add_row({"baseline value", Table::fmt_exact(result.baseline_value)});
+  t.add_row({"searched best", Table::fmt_exact(result.best_value)});
+  bench::emit(t, "search_inner_loop.csv");
+}
+
+void BM_SearchInnerLoop(benchmark::State& state) {
+  const auto resolved = cheap_search();
+  const auto& sc =
+      *scenario::builtin_registry().find(resolved.objective.scenario);
+  search::SearchOptions opts;
+  opts.budget = static_cast<std::size_t>(state.range(0));
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    const auto result =
+        search::run_search(sc, resolved.objective, resolved.axes, opts);
+    evaluations += result.evaluations;
+    benchmark::DoNotOptimize(result.best_value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel("items = candidate evaluations");
+}
+BENCHMARK(BM_SearchInnerLoop)->Arg(8)->Arg(16);
+
+void BM_SearchWarmResume(benchmark::State& state) {
+  // Every candidate already journaled: measures open + scan + replay +
+  // the descent bookkeeping, with zero scenario evaluations.
+  const auto resolved = cheap_search();
+  const auto& sc =
+      *scenario::builtin_registry().find(resolved.objective.scenario);
+  search::SearchOptions opts;
+  opts.budget = 16;
+  opts.journal_path = "/tmp/leak_bench_search_journal.jsonl";
+  std::remove(opts.journal_path.c_str());
+  (void)search::run_search(sc, resolved.objective, resolved.axes, opts);
+  for (auto _ : state) {
+    const auto result =
+        search::run_search(sc, resolved.objective, resolved.axes, opts);
+    if (result.cache_hits != result.evaluations) {
+      state.SkipWithError("resume re-evaluated candidates");
+      break;
+    }
+    benchmark::DoNotOptimize(result.best_value);
+  }
+  std::remove(opts.journal_path.c_str());
+}
+BENCHMARK(BM_SearchWarmResume);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

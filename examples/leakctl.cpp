@@ -43,6 +43,7 @@
 
 #include "src/scenario/registry.hpp"
 #include "src/scenario/sweep.hpp"
+#include "src/search/search.hpp"
 #include "src/serve/job.hpp"
 #include "src/serve/service.hpp"
 #include "src/support/parse.hpp"
@@ -61,6 +62,11 @@ int usage(const char* argv0) {
       "  run <scenario> [options]           run one scenario\n"
       "  sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step] ...\n"
       "                                     grid/list parameter sweep\n"
+      "  search <objective> [--axis k=lo:hi:step]... [options]\n"
+      "                                     optimize adversary knobs; the\n"
+      "                                     objective is a shipped config\n"
+      "                                     name or scenario:metric[:max|"
+      "min]\n"
       "  submit <scenario> [options]        submit a sweep as a durable job\n"
       "  status [job] [--json]              job progress (all jobs if none)\n"
       "  resume <job> [--max-cells N]       run/resume a job's missing "
@@ -83,6 +89,20 @@ int usage(const char* argv0) {
       "sweep-only options:\n"
       "  --vary-seed      per-cell seeds from (seed, cell index)\n"
       "  --parallel-cells fan cells across the thread pool\n"
+      "search-only options:\n"
+      "  --axis k=lo:hi:step  add a search axis; overrides a shipped\n"
+      "                   config's axis over the same parameter\n"
+      "  --budget N       distinct candidate evaluations, journal\n"
+      "                   replays included (default per config: 48)\n"
+      "  --patience N     failed unit-step passes before convergence "
+      "(1)\n"
+      "  --search-threads N  parallel candidate evaluations (0 = off)\n"
+      "  --journal PATH   durable evaluation journal; a killed search\n"
+      "                   resumes from it byte-identically\n"
+      "  --out PATH       alias for --json\n"
+      "  --boost-report   rerun the best strategy across an n_byzantine\n"
+      "                   ladder with proposer boost off vs on\n"
+      "  --boost-percent N  boost strength for the report (default 40)\n"
       "job options (submit/status/resume/results/serve):\n"
       "  --jobs-dir DIR   job store directory (default \"jobs\")\n"
       "  --workers N      worker subprocesses (submit default; resume\n"
@@ -360,6 +380,158 @@ int cmd_sweep(const scenario::Scenario& sc,
   }
   if (!opts.quiet) std::printf("%s", result.to_text().c_str());
   return emit_artifacts(result.to_json(), result.to_csv(), opts);
+}
+
+// --- search command (src/search) -------------------------------------
+
+struct SearchCliOptions {
+  std::string objective;
+  std::vector<std::string> axes;
+  std::vector<std::string> sets;
+  std::string journal_path;
+  std::string json_path;
+  std::string csv_path;
+  std::size_t budget = 0;  // 0 = the resolved config's default
+  std::size_t patience = 1;
+  unsigned threads = 0;
+  unsigned boost_percent = 40;
+  bool boost_report = false;
+  bool quiet = false;
+};
+
+bool parse_search_options(const std::vector<std::string>& args,
+                          SearchCliOptions* out, std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto need_value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        *error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    const auto need_count = [&](const char* flag, auto* slot) {
+      const auto* v = need_value(flag);
+      if (v == nullptr) return false;
+      const auto parsed = parse::u64(*v);
+      if (!parsed) {
+        *error = std::string(flag) + " needs a non-negative integer";
+        return false;
+      }
+      *slot = static_cast<std::remove_pointer_t<decltype(slot)>>(*parsed);
+      return true;
+    };
+    if (a == "--axis") {
+      const auto* v = need_value("--axis");
+      if (v == nullptr) return false;
+      out->axes.push_back(*v);
+    } else if (a == "--set") {
+      const auto* v = need_value("--set");
+      if (v == nullptr) return false;
+      out->sets.push_back(*v);
+    } else if (a == "--paths" || a == "--seed" || a == "--threads" ||
+               a == "--block") {
+      const auto* v = need_value(a.c_str());
+      if (v == nullptr) return false;
+      out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--budget") {
+      if (!need_count("--budget", &out->budget)) return false;
+    } else if (a == "--patience") {
+      if (!need_count("--patience", &out->patience)) return false;
+    } else if (a == "--search-threads") {
+      if (!need_count("--search-threads", &out->threads)) return false;
+    } else if (a == "--boost-percent") {
+      if (!need_count("--boost-percent", &out->boost_percent)) return false;
+    } else if (a == "--boost-report") {
+      out->boost_report = true;
+    } else if (a == "--journal") {
+      const auto* v = need_value("--journal");
+      if (v == nullptr) return false;
+      out->journal_path = *v;
+    } else if (a == "--json" || a == "--out") {
+      const auto* v = need_value(a.c_str());
+      if (v == nullptr) return false;
+      out->json_path = *v;
+    } else if (a == "--csv") {
+      const auto* v = need_value("--csv");
+      if (v == nullptr) return false;
+      out->csv_path = *v;
+    } else if (a == "--quiet") {
+      out->quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      *error = "unknown option \"" + a + "\"";
+      return false;
+    } else if (out->objective.empty()) {
+      out->objective = a;
+    } else {
+      *error = "unexpected argument \"" + a + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_search(const scenario::ScenarioRegistry& registry,
+               const std::vector<std::string>& args) {
+  SearchCliOptions opts;
+  std::string error;
+  if (!parse_search_options(args, &opts, &error)) return fail(error);
+  if (opts.objective.empty()) {
+    std::string msg = "search needs an objective (shipped configs:";
+    for (const auto& c : search::builtin_search_configs()) {
+      msg += " " + c.name;
+    }
+    msg += "; or scenario:metric[:max|min])";
+    return fail(msg);
+  }
+  // Resolve and validate every knob before anything runs.
+  const auto resolved = search::resolve_search(registry, opts.objective,
+                                               opts.axes, opts.sets, &error);
+  if (!resolved) return fail(error);
+  const scenario::Scenario* sc = registry.find(resolved->objective.scenario);
+  if (sc == nullptr) {
+    return fail("unknown scenario \"" + resolved->objective.scenario + "\"");
+  }
+  search::SearchOptions search_opts;
+  search_opts.budget = opts.budget != 0 ? opts.budget : resolved->budget;
+  search_opts.patience = opts.patience;
+  search_opts.threads = opts.threads;
+  search_opts.journal_path = opts.journal_path;
+  search::SearchResult result;
+  try {
+    result = search::run_search(*sc, resolved->objective, resolved->axes,
+                                search_opts);
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  } catch (const std::runtime_error& e) {
+    return fail(e.what());
+  }
+  if (!opts.quiet) std::printf("%s", result.to_text().c_str());
+  json::Value doc = result.to_json();
+  if (opts.boost_report) {
+    if (result.scenario != "balancing-attack") {
+      return fail("--boost-report needs the balancing-attack scenario "
+                  "(objective \"" + opts.objective + "\" searches " +
+                  result.scenario + ")");
+    }
+    // The rungs climb the adversary committee share around the paper's
+    // operating point; stake = n_byzantine / (n_byzantine + n_honest).
+    const std::vector<std::int64_t> ladder{4, 5, 6, 7, 8, 9, 10};
+    std::string text;
+    json::Value report;
+    try {
+      report = search::boost_report(*sc, result.best_params, ladder,
+                                    opts.boost_percent, &text);
+    } catch (const std::invalid_argument& e) {
+      return fail(e.what());
+    }
+    if (!opts.quiet) std::printf("\n%s", text.c_str());
+    doc.set("boost_report", std::move(report));
+  }
+  CliOptions emit;
+  emit.json_path = opts.json_path;
+  emit.csv_path = opts.csv_path;
+  return emit_artifacts(doc, result.history_to_csv(), emit);
 }
 
 // --- serve command family (src/serve) --------------------------------
@@ -655,6 +827,7 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
 
   if (cmd == "list") return cmd_list(registry, args);
+  if (cmd == "search") return cmd_search(registry, args);
   if (cmd == "status") return cmd_status(registry, args);
   if (cmd == "resume") return cmd_resume(registry, args);
   if (cmd == "results") return cmd_results(registry, args);

@@ -396,6 +396,9 @@ void register_slot_protocol(ScenarioRegistry& r) {
                   "epoch at which the partition heals (0 = no partition)",
                   0.0, 0.0, 1e6)
       .add_double("delta", "network delay bound in seconds", 1.0, 0.0, 60.0)
+      .add_int("proposer_boost",
+               "fork-choice proposer-boost percent (0 = off, mainnet 40)", 0,
+               0, 100)
       .add_int("seed", "master RNG seed", 1)
       .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
       .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
@@ -407,6 +410,7 @@ void register_slot_protocol(ScenarioRegistry& r) {
     base.p0 = p.get_double("p0");
     base.gst_epoch = p.get_double("gst_epoch");
     base.delta = p.get_double("delta");
+    base.proposer_boost = static_cast<unsigned>(p.get_int("proposer_boost"));
     const auto paths = static_cast<std::size_t>(p.get_int("paths"));
     const StreamSeeder seeder(
         static_cast<std::uint64_t>(p.get_int("seed")));
@@ -481,6 +485,17 @@ void register_balancing_attack(ScenarioRegistry& r) {
                4096)
       .add_int("epochs", "horizon in epochs", 16, 1, 256)
       .add_double("delta", "network delay bound in seconds", 1.0, 0.0, 60.0)
+      .add_double("release_delay",
+                  "seconds before an equivocation sibling reaches its own "
+                  "audience half (adversary release-timing knob)",
+                  0.1, 0.0, 8.0)
+      .add_double("cross_delay",
+                  "seconds past the epoch boundary before the withheld "
+                  "cross-side copies are released",
+                  0.1, 0.0, 8.0)
+      .add_int("proposer_boost",
+               "fork-choice proposer-boost percent (0 = off, mainnet 40)", 0,
+               0, 100)
       .add_int("seed", "master RNG seed", 42)
       .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
       .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
@@ -490,6 +505,9 @@ void register_balancing_attack(ScenarioRegistry& r) {
     base.n_byzantine = static_cast<std::uint32_t>(p.get_int("n_byzantine"));
     base.epochs = static_cast<std::size_t>(p.get_int("epochs"));
     base.delta = p.get_double("delta");
+    base.release_delay = p.get_double("release_delay");
+    base.cross_delay = p.get_double("cross_delay");
+    base.proposer_boost = static_cast<unsigned>(p.get_int("proposer_boost"));
     base.proposer_strategy = sim::ProposerStrategy::kBalancing;
     const auto paths = static_cast<std::size_t>(p.get_int("paths"));
     const StreamSeeder seeder(static_cast<std::uint64_t>(p.get_int("seed")));

@@ -264,13 +264,23 @@ std::optional<std::string> check_constraints(const ParamSpec& p,
 
 }  // namespace
 
+std::string ScenarioSpec::known_params_hint() const {
+  std::string hint = " (known params: ";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i != 0) hint += ", ";
+    hint += params_[i].name;
+  }
+  hint += ")";
+  return hint;
+}
+
 std::optional<std::string> ScenarioSpec::parse_value(std::string_view param,
                                                      std::string_view text,
                                                      ParamValue* out) const {
   const ParamSpec* p = find(param);
   if (p == nullptr) {
     return "unknown parameter \"" + std::string(param) + "\" for scenario \"" +
-           name_ + "\"";
+           name_ + "\"" + known_params_hint();
   }
   ParamValue v;
   switch (p->type) {
@@ -331,7 +341,7 @@ std::optional<std::string> ScenarioSpec::validate(
     const ParamSpec* p = find(name);
     if (p == nullptr) {
       return "unknown parameter \"" + name + "\" for scenario \"" + name_ +
-             "\"";
+             "\"" + known_params_hint();
     }
     if (param_type_of(value) != p->type) {
       return "parameter \"" + name + "\": expected " +
@@ -506,7 +516,7 @@ std::optional<ParamSet> ScenarioSpec::params_from_json(
     const ParamSpec* p = find(key);
     if (p == nullptr) {
       return fail("unknown parameter \"" + key + "\" for scenario \"" +
-                  name_ + "\"");
+                  name_ + "\"" + known_params_hint());
     }
     ParamValue v;
     switch (p->type) {

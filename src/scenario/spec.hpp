@@ -108,6 +108,11 @@ class ScenarioSpec {
   }
   [[nodiscard]] const ParamSpec* find(std::string_view param) const;
 
+  /// " (known params: a, b, c)" — appended to every unknown-parameter
+  /// error (--set, --sweep/--axis, params JSON) so a mistyped knob
+  /// fails fast with the declared surface in view.
+  [[nodiscard]] std::string known_params_hint() const;
+
   /// ParamSet holding every parameter at its default.
   [[nodiscard]] ParamSet defaults() const;
 

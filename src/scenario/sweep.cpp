@@ -24,7 +24,7 @@ std::optional<std::string> parse_sweep_axis(const ScenarioSpec& spec,
   const ParamSpec* p = spec.find(param);
   if (p == nullptr) {
     return "unknown parameter \"" + param + "\" for scenario \"" +
-           spec.name() + "\"";
+           spec.name() + "\"" + spec.known_params_hint();
   }
 
   SweepAxis axis;

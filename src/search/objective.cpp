@@ -1,0 +1,162 @@
+#include "src/search/objective.hpp"
+
+namespace leak::search {
+
+const std::vector<SearchConfig>& builtin_search_configs() {
+  // Grids deliberately include the fixed-strategy default point, so a
+  // completed search can never report a best below the paper baseline.
+  static const std::vector<SearchConfig> kConfigs = {
+      {
+          "balancing-timing",
+          "Worst-case balancing attack: tune the proposer-equivocation "
+          "release timing (sibling release delay, cross-side release "
+          "delay) to maximize the finality stall",
+          "balancing-attack",
+          "mean_finality_stall_epochs",
+          /*maximize=*/true,
+          {"paths=4", "n_honest=16", "n_byzantine=5", "epochs=10"},
+          {"release_delay=0.1,0.7,1.3,1.9,2.5,3.1,3.7",
+           "cross_delay=0.1,0.7,1.3,1.9,2.5"},
+          /*budget=*/24,
+      },
+      {
+          "semiactive-duty",
+          "Worst-case semi-active rotation: tune the duty-cycle schedule "
+          "(branch count m, Byzantine stake) to maximize the probability "
+          "the duty-cycled stake exceeds the exceedance threshold",
+          "semiactive-sweep",
+          "mc_prob_beta_exceeds",
+          /*maximize=*/true,
+          {"paths=256", "epochs=1200"},
+          {"branches=2:8:1", "beta0=0.26:0.34:0.02"},
+          /*budget=*/20,
+      },
+      {
+          "partition-timing",
+          "Worst-case k-partition weather: tune the split/heal timing "
+          "(first heal epoch, heal stagger) to maximize the honest "
+          "validators' residual stake loss",
+          "multi-partition-recovery",
+          "mean_residual_loss_eth",
+          /*maximize=*/true,
+          {"paths=8", "n_validators=200", "max_epochs=4000"},
+          {"heal_epoch=400:2800:400", "heal_stagger=0:1000:250"},
+          /*budget=*/20,
+      },
+  };
+  return kConfigs;
+}
+
+const SearchConfig* find_search_config(std::string_view name) {
+  for (const auto& c : builtin_search_configs()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::optional<ResolvedSearch> resolve_search(
+    const scenario::ScenarioRegistry& registry, std::string_view objective_text,
+    const std::vector<std::string>& axis_texts,
+    const std::vector<std::string>& set_texts, std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<ResolvedSearch> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  ResolvedSearch out;
+  std::vector<std::string> config_sets;
+  std::vector<std::string> config_axes;
+  if (const SearchConfig* cfg = find_search_config(objective_text)) {
+    out.config_name = cfg->name;
+    out.objective.scenario = cfg->scenario;
+    out.objective.metric = cfg->metric;
+    out.objective.maximize = cfg->maximize;
+    out.budget = cfg->budget;
+    config_sets = cfg->sets;
+    config_axes = cfg->axes;
+  } else {
+    // "scenario:metric" with an optional ":max" / ":min" suffix.
+    const std::string text(objective_text);
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+      std::string known = "objective \"" + text +
+                          "\" is neither a shipped search config (";
+      const auto& configs = builtin_search_configs();
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (i != 0) known += ", ";
+        known += configs[i].name;
+      }
+      known += ") nor of the form scenario:metric[:max|min]";
+      return fail(std::move(known));
+    }
+    out.objective.scenario = text.substr(0, colon);
+    std::string rest = text.substr(colon + 1);
+    const std::size_t colon2 = rest.find(':');
+    if (colon2 != std::string::npos) {
+      const std::string dir = rest.substr(colon2 + 1);
+      rest = rest.substr(0, colon2);
+      if (dir == "max") {
+        out.objective.maximize = true;
+      } else if (dir == "min") {
+        out.objective.maximize = false;
+      } else {
+        return fail("objective direction \"" + dir +
+                    "\" must be \"max\" or \"min\"");
+      }
+    }
+    if (rest.empty()) return fail("objective metric name is empty");
+    out.objective.metric = rest;
+  }
+
+  const scenario::Scenario* sc = registry.find(out.objective.scenario);
+  if (sc == nullptr) {
+    return fail("unknown scenario \"" + out.objective.scenario + "\"");
+  }
+  const scenario::ScenarioSpec& spec = sc->spec();
+
+  // Base params: defaults, then config sets, then user sets — every
+  // knob validated against the spec before anything runs.
+  out.objective.base = spec.defaults();
+  for (const auto& kv : config_sets) {
+    if (auto err = spec.apply_kv(kv, &out.objective.base)) {
+      return fail("shipped config \"" + out.config_name + "\": " + *err);
+    }
+  }
+  for (const auto& kv : set_texts) {
+    if (auto err = spec.apply_kv(kv, &out.objective.base)) return fail(*err);
+  }
+
+  // Axes: config axes first, user axes override a config axis naming
+  // the same parameter and append otherwise.
+  std::vector<scenario::SweepAxis> axes;
+  for (const auto& text : config_axes) {
+    scenario::SweepAxis axis;
+    if (auto err = scenario::parse_sweep_axis(spec, text, &axis)) {
+      return fail("shipped config \"" + out.config_name + "\": " + *err);
+    }
+    axes.push_back(std::move(axis));
+  }
+  for (const auto& text : axis_texts) {
+    scenario::SweepAxis axis;
+    if (auto err = scenario::parse_sweep_axis(spec, text, &axis)) {
+      return fail(*err);
+    }
+    bool replaced = false;
+    for (auto& existing : axes) {
+      if (existing.param == axis.param) {
+        existing = axis;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) axes.push_back(std::move(axis));
+  }
+  if (axes.empty()) {
+    return fail("search needs at least one --axis k=lo:hi:step (or a "
+                "shipped config that provides axes)");
+  }
+  out.axes = std::move(axes);
+  return out;
+}
+
+}  // namespace leak::search

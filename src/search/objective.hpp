@@ -1,0 +1,76 @@
+// What the adversary-strategy optimizer extremizes: one registry
+// scenario, one scalar metric of its ScenarioResult, a direction, and
+// the base parameter assignment that candidates are applied on top of.
+// Three search configurations ship with the library (the ROADMAP's
+// balancing equivocation timing, semi-active duty-cycle schedule, and
+// partition split/heal timing); `resolve_search` turns either a
+// shipped config name or an ad-hoc "scenario:metric[:max|min]" string
+// plus --axis/--set text into a fully validated search problem before
+// a single candidate is evaluated (fail fast on unknown knobs).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/scenario/registry.hpp"
+#include "src/scenario/spec.hpp"
+#include "src/scenario/sweep.hpp"
+
+namespace leak::search {
+
+/// The black-box objective: extremize `metric` of `scenario` over
+/// candidates derived from `base` by the search axes.
+struct Objective {
+  std::string scenario;
+  std::string metric;
+  bool maximize = true;
+  scenario::ParamSet base;
+};
+
+/// One shipped search configuration: objective identity plus default
+/// base overrides, axes (the --axis text syntax), and a default
+/// evaluation budget sized for the config's grid.
+struct SearchConfig {
+  std::string name;
+  std::string description;
+  std::string scenario;
+  std::string metric;
+  bool maximize = true;
+  /// "key=value" base-parameter overrides applied before user --set.
+  std::vector<std::string> sets;
+  /// "key=lo:hi:step" / "key=v1,v2,..." axis texts.
+  std::vector<std::string> axes;
+  std::size_t budget = 48;
+};
+
+/// The shipped configs, in catalog order.
+[[nodiscard]] const std::vector<SearchConfig>& builtin_search_configs();
+
+/// Lookup by name; nullptr when absent.
+[[nodiscard]] const SearchConfig* find_search_config(std::string_view name);
+
+/// A fully validated search problem, ready for run_search.
+struct ResolvedSearch {
+  Objective objective;
+  std::vector<scenario::SweepAxis> axes;
+  std::size_t budget = 48;
+  /// Shipped config the problem came from; empty for ad-hoc searches.
+  std::string config_name;
+};
+
+/// Resolve `objective_text` — a shipped config name or
+/// "scenario:metric[:max|min]" — plus user --axis/--set text into a
+/// ResolvedSearch.  Every axis and set is validated against the
+/// scenario spec here, before any worker or evaluation starts; a user
+/// axis for a parameter a config already sweeps replaces the config's
+/// axis.  Returns nullopt and sets `error` on failure.
+[[nodiscard]] std::optional<ResolvedSearch> resolve_search(
+    const scenario::ScenarioRegistry& registry, std::string_view objective_text,
+    const std::vector<std::string>& axis_texts,
+    const std::vector<std::string>& set_texts, std::string* error);
+
+}  // namespace leak::search

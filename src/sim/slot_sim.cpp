@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <tuple>
@@ -21,6 +22,9 @@ using chain::Digest;
 
 /// Attestation broadcast offset within a slot (like mainnet's 4 s mark).
 constexpr double kAttestationOffset = 4.0;
+
+/// Sentinel for "no slot currently boosted" in a view.
+constexpr std::uint64_t kNoBoostSlot = std::numeric_limits<std::uint64_t>::max();
 
 }  // namespace
 
@@ -52,6 +56,9 @@ struct SlotSim::Impl {
     /// kernel/reduction layer, and ordered containers make even an
     /// accidental future iteration deterministic.
     std::map<Digest, std::vector<Block>> orphans;
+    /// Slot whose proposal currently carries the fork-choice boost in
+    /// this view (kNoBoostSlot when none; unused when the boost is off).
+    std::uint64_t boost_slot = kNoBoostSlot;
   };
 
   SlotSimConfig cfg;
@@ -167,6 +174,39 @@ struct SlotSim::Impl {
                : *views[byz];
   }
 
+  // ---- proposer boost ----------------------------------------------
+
+  [[nodiscard]] std::uint64_t current_slot_number() const {
+    return static_cast<std::uint64_t>(queue.now() / kSecondsPerSlot);
+  }
+
+  /// Drop a boost left over from an earlier slot (the boost only lives
+  /// until the slot ends).  No-op when the boost is disabled, keeping
+  /// the default configuration bit-exact with the pre-boost simulator.
+  void refresh_boost(View& v) {
+    if (cfg.proposer_boost == 0) return;
+    if (v.boost_slot != kNoBoostSlot &&
+        v.boost_slot != current_slot_number()) {
+      v.fc->clear_proposer_boost();
+      v.boost_slot = kNoBoostSlot;
+    }
+  }
+
+  /// Credit a timely current-slot proposal with the boost: the block
+  /// must belong to the slot in progress and arrive before the
+  /// attestation deadline, mirroring the mainnet timeliness condition.
+  void maybe_boost(View& v, const Block& b) {
+    if (cfg.proposer_boost == 0) return;
+    refresh_boost(v);
+    const std::uint64_t s = current_slot_number();
+    const double offset =
+        queue.now() - static_cast<double>(s) * kSecondsPerSlot;
+    if (b.slot.value() == s && offset < kAttestationOffset) {
+      v.fc->set_proposer_boost(b.id, cfg.proposer_boost);
+      v.boost_slot = s;
+    }
+  }
+
   // ---- ingestion ----------------------------------------------------
 
   void ingest_block(View& v, const Block& b) {
@@ -176,6 +216,7 @@ struct SlotSim::Impl {
       return;
     }
     v.tree.insert(b);
+    maybe_boost(v, b);
     // Adopt any orphans waiting for this block, recursively.
     auto it = v.orphans.find(b.id);
     if (it != v.orphans.end()) {
@@ -265,7 +306,8 @@ struct SlotSim::Impl {
         .value();
   }
 
-  [[nodiscard]] Digest head_of(View& v, Epoch e) const {
+  [[nodiscard]] Digest head_of(View& v, Epoch e) {
+    refresh_boost(v);
     Digest root = v.ffg->justified().block;
     if (!v.tree.contains(root)) root = v.tree.genesis_id();
     return v.fc->head(root, e);
@@ -311,7 +353,7 @@ struct SlotSim::Impl {
       side_of[b.id] = side;  // pins the side even on a fresh fork
       ingest_block(v, b);
       const auto id = store_payload(b);
-      network.release_at(queue.now() + 0.1, ValidatorIndex{who},
+      network.release_at(queue.now() + cfg.release_delay, ValidatorIndex{who},
                          side_audiences[static_cast<std::size_t>(side)], id);
       split_withheld.emplace_back(ValidatorIndex{who}, id, side);
     }
@@ -392,7 +434,7 @@ struct SlotSim::Impl {
     // nothing here is slashable).
     if (balancing() && !split_withheld.empty()) {
       for (const auto& [from, id, side] : split_withheld) {
-        network.release_at(queue.now() + 0.1, from,
+        network.release_at(queue.now() + cfg.cross_delay, from,
                            side_audiences[static_cast<std::size_t>(1 - side)],
                            id);
       }

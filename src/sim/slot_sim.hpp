@@ -52,6 +52,18 @@ struct SlotSimConfig {
   double delta = 1.0;
   /// What Byzantine proposers do with their slots.
   ProposerStrategy proposer_strategy = ProposerStrategy::kHonest;
+  /// Fork-choice proposer boost: percent of the total active balance
+  /// credited to the current slot's timely proposal until the slot
+  /// ends (mainnet uses 40).  0 disables the boost entirely and is
+  /// bit-exact with the pre-boost simulator.
+  unsigned proposer_boost = 0;
+  /// Balancing attack: seconds between a Byzantine proposer's slot
+  /// start and the release of each equivocation sibling to its own
+  /// audience half (the adversary's release timing knob).
+  double release_delay = 0.1;
+  /// Balancing attack: seconds past the epoch boundary at which the
+  /// withheld cross-side copies are released to the opposite half.
+  double cross_delay = 0.1;
   std::uint64_t seed = 1;
   penalties::SpecConfig spec = penalties::SpecConfig::paper();
 };

@@ -72,6 +72,72 @@ TEST(BalancingAttack, StallsFinalityRelativeToHonestBaseline) {
   EXPECT_GT(attacked_stall, honest_stall);
 }
 
+TEST(ProposerBoost, OffIsBitExactLegacyTrajectory) {
+  // The countermeasure defaults to off, and off means *byte-for-byte*
+  // legacy behavior: this golden trajectory was recorded before the
+  // proposer-boost/release-timing knobs existed, and a default-valued
+  // config must keep reproducing it exactly.
+  const auto r = SlotSim(balancing_config(8, 7)).run();
+  const std::vector<std::uint64_t> golden{0, 0, 0, 2, 3, 4, 5, 6, 7, 8, 8, 8};
+  EXPECT_EQ(r.finalized_epoch_trajectory, golden);
+  EXPECT_EQ(r.finality_stall_epochs, 3u);
+  EXPECT_EQ(r.equivocating_proposals, 64u);
+  EXPECT_EQ(r.messages_delivered, 38144u);
+}
+
+TEST(ProposerBoost, ExplicitZeroMatchesDefaultConfigExactly) {
+  // Setting the new knobs to their defaults is indistinguishable from
+  // never touching them.
+  const auto legacy = SlotSim(balancing_config(8, 7)).run();
+  SlotSimConfig explicit_cfg = balancing_config(8, 7);
+  explicit_cfg.proposer_boost = 0;
+  explicit_cfg.release_delay = 0.1;
+  explicit_cfg.cross_delay = 0.1;
+  const auto r = SlotSim(explicit_cfg).run();
+  EXPECT_EQ(r.finalized_epoch, legacy.finalized_epoch);
+  EXPECT_EQ(r.finalized_epoch_trajectory, legacy.finalized_epoch_trajectory);
+  EXPECT_EQ(r.finality_stall_epochs, legacy.finality_stall_epochs);
+  EXPECT_EQ(r.equivocating_proposals, legacy.equivocating_proposals);
+  EXPECT_EQ(r.messages_delivered, legacy.messages_delivered);
+}
+
+TEST(ProposerBoost, BoostCountersTheBalancingAttack) {
+  // With mainnet-style 40% proposer boost, a timely honest proposal
+  // outweighs the adversary's balanced split, so honest attesters
+  // converge on one side and finality recovers sooner.
+  SlotSimConfig boosted = balancing_config(8, 7);
+  boosted.proposer_boost = 40;
+  const auto off = SlotSim(balancing_config(8, 7)).run();
+  const auto on = SlotSim(boosted).run();
+  EXPECT_LT(on.finality_stall_epochs, off.finality_stall_epochs);
+  EXPECT_GE(on.finalized_epoch_trajectory.back(),
+            off.finalized_epoch_trajectory.back());
+  // The countermeasure changes fork choice, not message flow.
+  EXPECT_EQ(on.messages_delivered, off.messages_delivered);
+  EXPECT_EQ(on.equivocating_proposals, off.equivocating_proposals);
+}
+
+TEST(ProposerBoost, ScenarioParamDefaultsOffAndMatchesLegacyMetrics) {
+  // Registry level: the balancing-attack scenario exposes the knob,
+  // defaults it to 0, and a default run's metrics and per-trial rows
+  // are identical to an explicit proposer_boost=0 run's.
+  const auto& sc = *scenario::builtin_registry().find("balancing-attack");
+  auto params = sc.spec().defaults();
+  params.set("paths", std::int64_t{2});
+  params.set("epochs", std::int64_t{6});
+  EXPECT_EQ(params.get_int("proposer_boost"), 0);
+  const auto legacy = sc.run(params);
+  params.set("proposer_boost", std::int64_t{0});
+  const auto explicit_off = sc.run(params);
+  ASSERT_EQ(legacy.metrics.size(), explicit_off.metrics.size());
+  for (std::size_t i = 0; i < legacy.metrics.size(); ++i) {
+    EXPECT_EQ(legacy.metrics[i].second, explicit_off.metrics[i].second)
+        << legacy.metrics[i].first;
+  }
+  ASSERT_TRUE(legacy.trials && explicit_off.trials);
+  EXPECT_EQ(legacy.trials->to_csv(), explicit_off.trials->to_csv());
+}
+
 TEST(BalancingAttackScenario, BitIdenticalAcrossThreadCounts) {
   // SlotSim equivocation determinism across thread counts, at the
   // registry level: the balancing-attack scenario fans its paths over

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `leakctl search` (CI runs this in the
+# scenario-matrix job; it is also the quickest local check that the
+# journaled-search contract holds on this machine).
+#
+# The contract it proves, with a real binary and a real journal:
+#
+#   1. A search interrupted by budget exhaustion (plus a deliberately
+#      torn record tail — the crash-mid-append case) resumes to a
+#      journal that is BYTE-IDENTICAL to an uninterrupted run's.
+#   2. Resuming a completed search evaluates zero fresh candidates.
+#
+# Usage: tools/search_smoke.sh [-b BUILD_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -b) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [-b BUILD_DIR]" >&2; exit 2 ;;
+  esac
+done
+
+LEAKCTL="${BUILD_DIR}/examples/leakctl"
+if [[ ! -x "${LEAKCTL}" ]]; then
+  echo "error: ${LEAKCTL} not found - build it first:" >&2
+  echo "  cmake -B \"${BUILD_DIR}\" -S \"${REPO_ROOT}\" && cmake --build \"${BUILD_DIR}\" --target leakctl -j" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/leak_search_smoke.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+
+# A cheap analytic objective so the smoke is bookkeeping-bound, not
+# simulation-bound (same shape as bench_search_inner_loop).
+SEARCH_ARGS=(search semiactive-sweep:beta_max:max
+             --axis branches=2:6:1 --axis beta0=0.26:0.34:0.02
+             --set paths=16 --set epochs=200 --budget 12)
+
+echo "== clean reference run (${WORK}/clean.jsonl) =="
+"${LEAKCTL}" "${SEARCH_ARGS[@]}" --journal "${WORK}/clean.jsonl" \
+  --json "${WORK}/reference.json" --quiet
+
+echo "== interrupted run (${WORK}/hostile.jsonl): 3-candidate budget, then a torn tail =="
+"${LEAKCTL}" search semiactive-sweep:beta_max:max \
+  --axis branches=2:6:1 --axis beta0=0.26:0.34:0.02 \
+  --set paths=16 --set epochs=200 --budget 3 \
+  --journal "${WORK}/hostile.jsonl" --quiet
+# Simulate a crash mid-append: a half-written record with no newline.
+printf '12345678 {"half' >> "${WORK}/hostile.jsonl"
+
+echo "== resume to completion =="
+"${LEAKCTL}" "${SEARCH_ARGS[@]}" --journal "${WORK}/hostile.jsonl" \
+  --json "${WORK}/resumed.json" --quiet
+
+if ! cmp "${WORK}/clean.jsonl" "${WORK}/hostile.jsonl"; then
+  echo "FAIL: resumed journal differs from the clean run's" >&2
+  exit 1
+fi
+echo "journals are byte-identical (clean vs interrupted+resumed)"
+
+python3 - "${WORK}/reference.json" "${WORK}/resumed.json" <<'PY'
+import json, sys
+ref, res = (json.load(open(p)) for p in sys.argv[1:3])
+for doc in (ref, res):
+    assert doc["best"]["value"] is not None, "search produced no best value"
+assert ref["best"] == res["best"], "resumed search picked a different optimum"
+assert ref["baseline"] == res["baseline"], "baseline drifted across resume"
+print(f'best {ref["best"]["value"]} == resumed best (baseline {ref["baseline"]["value"]})')
+PY
+
+echo "== a completed search re-runs zero fresh evaluations =="
+"${LEAKCTL}" "${SEARCH_ARGS[@]}" --journal "${WORK}/hostile.jsonl" \
+  --json "${WORK}/rerun.json" --quiet
+python3 - "${WORK}/rerun.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+fresh = doc["evaluations"] - doc["cache_hits"]
+assert fresh == 0, f"re-run of a complete search evaluated {fresh} candidates"
+print(f'{doc["cache_hits"]} candidates replayed from the journal, 0 fresh')
+PY
+
+echo "search smoke: OK"
