@@ -1,0 +1,104 @@
+// Fault-injection harness: cost of the FaultSchedule JSON contract
+// (parse + validate + dump) and of the FaultDriver compilation paths,
+// next to a small cascading-partition simulation.  The schedule is
+// re-parsed for every sweep cell (it rides in the `faults` param), so
+// its round-trip cost must stay negligible against even the cheapest
+// cell runtime.
+#include "bench/bench_common.hpp"
+
+#include <string>
+
+#include "src/faults/driver.hpp"
+#include "src/faults/schedule.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/partition_sim.hpp"
+
+namespace {
+
+using namespace leak;
+
+[[nodiscard]] faults::FaultSchedule cascade_schedule() {
+  faults::FaultSchedule s =
+      faults::FaultSchedule::staggered_partition(3, 100, 600, 150);
+  s.events.push_back(faults::ValidatorOutage{900, 50, 0.25});
+  return s;
+}
+
+[[nodiscard]] faults::FaultSchedule weather_schedule() {
+  faults::FaultSchedule s;
+  s.events.push_back(
+      faults::LatencyEpisode{2.0, 2.0, faults::LinkClass::kAll, 3.0});
+  s.events.push_back(
+      faults::LossEpisode{4.0, 2.0, faults::LinkClass::kAll, 0.15});
+  return s;
+}
+
+void report() {
+  bench::print_header("Fault-injection harness: schedule compilation");
+  const faults::FaultSchedule cascade = cascade_schedule();
+  sim::PartitionSimConfig cfg;
+  faults::compile_partition(cascade, &cfg);
+  const std::string dumped = cascade.dump();
+  Table t({"quantity", "value"});
+  t.add_row({"cascade events", std::to_string(cascade.events.size())});
+  t.add_row({"compiled branches", std::to_string(cfg.branches)});
+  t.add_row({"compiled windows", std::to_string(cfg.windows.size())});
+  t.add_row({"compiled outages", std::to_string(cfg.outages.size())});
+  t.add_row({"dump bytes", std::to_string(dumped.size())});
+  bench::emit(t, "fault_schedule.csv");
+}
+
+void BM_ScheduleParseValidate(benchmark::State& state) {
+  const std::string text = cascade_schedule().dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(faults::FaultSchedule::from_string(text));
+  }
+}
+BENCHMARK(BM_ScheduleParseValidate);
+
+void BM_ScheduleDump(benchmark::State& state) {
+  const faults::FaultSchedule s = cascade_schedule();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.dump());
+  }
+}
+BENCHMARK(BM_ScheduleDump);
+
+void BM_CompilePartition(benchmark::State& state) {
+  const faults::FaultSchedule s = cascade_schedule();
+  for (auto _ : state) {
+    sim::PartitionSimConfig cfg;
+    faults::compile_partition(s, &cfg);
+    benchmark::DoNotOptimize(cfg);
+  }
+}
+BENCHMARK(BM_CompilePartition);
+
+void BM_ApplyNetwork(benchmark::State& state) {
+  const faults::FaultSchedule s = weather_schedule();
+  for (auto _ : state) {
+    net::NetworkConfig cfg;
+    cfg.num_nodes = 1;
+    faults::apply_network(s, 384.0, &cfg);
+    benchmark::DoNotOptimize(cfg);
+  }
+}
+BENCHMARK(BM_ApplyNetwork);
+
+/// The compiled cascading arc end to end: staggered opens, staggered
+/// heals, one outage, re-entrant leak, full recovery tail.
+void BM_CascadeSim(benchmark::State& state) {
+  sim::PartitionSimConfig cfg;
+  cfg.n_validators = static_cast<std::uint32_t>(state.range(0));
+  cfg.max_epochs = 2000;
+  cfg.trajectory_stride = cfg.max_epochs;
+  faults::compile_partition(cascade_schedule(), &cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_partition_sim(cfg));
+  }
+}
+BENCHMARK(BM_CascadeSim)->Arg(60)->Arg(120);
+
+}  // namespace
+
+LEAK_BENCH_MAIN(report)

@@ -4,12 +4,12 @@
 //
 //   leakctl list [--json|--names]
 //   leakctl describe <scenario> [--json]
-//   leakctl run <scenario> [--params FILE] [--set k=v]... [--paths N]
-//               [--seed N] [--threads N] [--block N] [--json PATH]
-//               [--csv PATH] [--quiet]
-//   leakctl sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step]
-//               [--set k=v]... [--vary-seed] [--parallel-cells]
+//   leakctl run <scenario> [--params FILE] [--faults FILE] [--set k=v]...
+//               [--paths N] [--seed N] [--threads N] [--block N]
 //               [--json PATH] [--csv PATH] [--quiet]
+//   leakctl sweep <scenario> --sweep k=v1,v2,... [--sweep k=lo:hi:step]
+//               [--faults FILE] [--set k=v]... [--vary-seed]
+//               [--parallel-cells] [--json PATH] [--csv PATH] [--quiet]
 //
 // The serve command family runs sweeps as durable, resumable jobs
 // (src/serve): cells are sharded across worker subprocesses and
@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/faults/schedule.hpp"
 #include "src/scenario/registry.hpp"
 #include "src/scenario/sweep.hpp"
 #include "src/search/search.hpp"
@@ -80,6 +81,11 @@ int usage(const char* argv0) {
       "  --seed N         shorthand for --set seed=N\n"
       "  --threads N      shorthand for --set threads=N\n"
       "  --block N        shorthand for --set block=N\n"
+      "  --faults FILE    load a fault-schedule JSON file (an ordered\n"
+      "                   timeline of partition/latency/loss/outage\n"
+      "                   events) and pass it inline as the scenario's\n"
+      "                   `faults` parameter; also accepted by search\n"
+      "                   and submit\n"
       "  --json PATH      write the JSON report to PATH (\"-\" = stdout)\n"
       "  --csv PATH       write the CSV (trial rows / sweep cells) to PATH\n"
       "  --quiet          suppress the human-readable report\n"
@@ -120,6 +126,22 @@ int usage(const char* argv0) {
 int fail(const std::string& msg) {
   std::fprintf(stderr, "leakctl: %s\n", msg.c_str());
   return 2;
+}
+
+/// Load a --faults schedule file and rewrite it as a
+/// `faults=<compact JSON>` --set entry: the schedule travels inline in
+/// the params, so sweep cells, serve jobs and search journals stay
+/// self-contained and resume without the original file.
+bool push_faults_set(const std::string& path,
+                     std::vector<std::string>* sets, std::string* error) {
+  try {
+    sets->push_back("faults=" +
+                    faults::FaultSchedule::load_file(path).dump());
+  } catch (const std::invalid_argument& e) {
+    *error = e.what();
+    return false;
+  }
+  return true;
 }
 
 int cmd_list(const scenario::ScenarioRegistry& registry,
@@ -213,6 +235,10 @@ bool parse_options(const std::vector<std::string>& args, bool allow_sweep,
       const auto* v = need_value(a.c_str());
       if (v == nullptr) return false;
       out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--faults") {
+      const auto* v = need_value("--faults");
+      if (v == nullptr) return false;
+      if (!push_faults_set(*v, &out->sets, error)) return false;
     } else if (a == "--params" && !allow_sweep) {
       const auto* v = need_value("--params");
       if (v == nullptr) return false;
@@ -434,6 +460,10 @@ bool parse_search_options(const std::vector<std::string>& args,
       const auto* v = need_value(a.c_str());
       if (v == nullptr) return false;
       out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--faults") {
+      const auto* v = need_value("--faults");
+      if (v == nullptr) return false;
+      if (!push_faults_set(*v, &out->sets, error)) return false;
     } else if (a == "--budget") {
       if (!need_count("--budget", &out->budget)) return false;
     } else if (a == "--patience") {
@@ -589,6 +619,10 @@ bool parse_job_options(const std::vector<std::string>& args,
       const auto* v = need_value(a.c_str());
       if (v == nullptr) return false;
       out->sets.push_back(a.substr(2) + "=" + *v);
+    } else if (a == "--faults") {
+      const auto* v = need_value("--faults");
+      if (v == nullptr) return false;
+      if (!push_faults_set(*v, &out->sets, error)) return false;
     } else if (a == "--sweep") {
       const auto* v = need_value("--sweep");
       if (v == nullptr) return false;

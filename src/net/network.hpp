@@ -36,6 +36,33 @@ struct Packet {
 /// Delivery callback: (recipient, packet, delivery time).
 using DeliverFn = std::function<void(ValidatorIndex, const Packet&)>;
 
+/// Which links a scripted weather episode afflicts.  A link is
+/// cross-region when both endpoints sit in distinct fixed regions;
+/// links within a region, or touching a straddling (kBoth) node, are
+/// intra-region.
+enum class LinkClass : std::uint8_t { kAll = 0, kIntra = 1, kCross = 2 };
+
+/// A scripted latency episode: while the send time is in [from, to),
+/// per-message jitter on matching links is stretched by `factor`
+/// beyond the minimum delay (delays up to min_delay + factor *
+/// (delta - min_delay)), deliberately violating the synchrony bound
+/// when factor > 1.
+struct LatencyEpisode {
+  double from = 0.0;  ///< seconds, inclusive
+  double to = 0.0;    ///< seconds, exclusive
+  LinkClass link = LinkClass::kAll;
+  double factor = 1.0;
+};
+
+/// A scripted loss episode: messages sent on matching links while the
+/// episode is active are dropped with probability `drop`.
+struct LossEpisode {
+  double from = 0.0;
+  double to = 0.0;
+  LinkClass link = LinkClass::kAll;
+  double drop = 0.0;
+};
+
 /// Configuration of the network model.
 struct NetworkConfig {
   std::uint32_t num_nodes = 0;
@@ -47,6 +74,13 @@ struct NetworkConfig {
   SimTime gst = 0.0;
   /// RNG seed for per-message jitter.
   std::uint64_t seed = 42;
+  /// Scripted network weather (compiled from a faults::FaultSchedule
+  /// by faults::apply_network).  Loss draws come from a dedicated
+  /// StreamSeeder lane off `seed`, so an empty episode list is
+  /// bit-identical to the pre-weather network -- the legacy jitter
+  /// stream is never perturbed.
+  std::vector<LatencyEpisode> latency_episodes;
+  std::vector<LossEpisode> loss_episodes;
 };
 
 /// The simulated network.  All sends are best-effort broadcast or unicast
@@ -84,18 +118,30 @@ class Network {
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  /// Per-recipient copies dropped by scripted loss episodes.
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
 
  private:
   void deliver_later(SimTime when, ValidatorIndex to, Packet p);
   [[nodiscard]] double jitter();
+  /// Apply the weather episodes to one recipient copy: stretch the
+  /// jitter, or drop the copy (returns false).  `base` is now for a
+  /// reachable recipient and gst for a pre-GST cross-partition send.
+  void send_one(SimTime base, ValidatorIndex from, ValidatorIndex to,
+                const Packet& p);
+  [[nodiscard]] bool link_is_cross(ValidatorIndex a, ValidatorIndex b) const;
+  [[nodiscard]] double latency_factor(SimTime at, bool cross) const;
+  [[nodiscard]] bool weather_drops(SimTime at, bool cross);
 
   EventQueue& queue_;
   NetworkConfig config_;
   std::vector<Region> regions_;
   DeliverFn deliver_;
   Rng rng_;
+  Rng weather_rng_;  ///< dedicated lane: loss draws never touch rng_
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace leak::net

@@ -5,6 +5,7 @@
 // driver's result onto the uniform ScenarioResult.  Every Monte Carlo
 // scenario fans its trials through TrialRunner, so results are
 // bit-identical for any thread count.
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -16,6 +17,8 @@
 #include "src/analytic/tables.hpp"
 #include "src/bouncing/attack_sim.hpp"
 #include "src/bouncing/montecarlo.hpp"
+#include "src/faults/driver.hpp"
+#include "src/faults/schedule.hpp"
 #include "src/runner/trial_runner.hpp"
 #include "src/scenario/registry.hpp"
 #include "src/sim/partition_sim.hpp"
@@ -23,6 +26,7 @@
 #include "src/support/parse.hpp"
 #include "src/support/random.hpp"
 #include "src/support/stats.hpp"
+#include "src/support/types.hpp"
 
 namespace leak::scenario {
 
@@ -72,6 +76,35 @@ sim::Strategy strategy_from_name(const std::string& name) {
   if (name == "slashable") return sim::Strategy::kSlashable;
   if (name == "semiactive") return sim::Strategy::kSemiActiveFinalize;
   return sim::Strategy::kSemiActiveOverthrow;  // "overthrow"
+}
+
+faults::LinkClass link_from_name(const std::string& name) {
+  if (name == "intra") return faults::LinkClass::kIntra;
+  if (name == "cross") return faults::LinkClass::kCross;
+  return faults::LinkClass::kAll;  // "all"
+}
+
+/// The shared `faults` param: an inline fault-schedule JSON document
+/// (the compact FaultSchedule::dump form, or anything from_string
+/// accepts).  Inline -- not a path -- so sweep cells, serve jobs and
+/// search journals stay self-contained and resumable; leakctl --faults
+/// reads the file and injects its contents here.
+ScenarioSpec& add_faults_param(ScenarioSpec& spec) {
+  return spec.add_string(
+      "faults",
+      "inline fault-schedule JSON overriding the scenario's own "
+      "partition/weather knobs (empty = knobs; leakctl --faults FILE "
+      "fills this)",
+      "");
+}
+
+/// Resolve the effective schedule: the `faults` param wins, otherwise
+/// the knob-built fallback.
+faults::FaultSchedule resolve_schedule(const ParamSet& p,
+                                       faults::FaultSchedule fallback) {
+  const std::string& text = p.get_string("faults");
+  if (text.empty()) return fallback;
+  return faults::FaultSchedule::from_string(text);
 }
 
 // --- bouncing-mc --------------------------------------------------------
@@ -256,6 +289,7 @@ void register_partition_trials(ScenarioRegistry& r) {
       .add_int("seed", "master RNG seed", 2024)
       .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
       .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
+  add_faults_param(spec);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     sim::PartitionTrialsConfig cfg;
     cfg.base.n_validators =
@@ -267,6 +301,12 @@ void register_partition_trials(ScenarioRegistry& r) {
     // Trajectories are per-epoch bulk the trials never read; sample at
     // the horizon only.
     cfg.base.trajectory_stride = cfg.base.max_epochs;
+    // Always route through the compiled fault schedule (the knob path
+    // compiles to the same two-branch window), so every run exercises
+    // the FaultDriver and the baselines pin its bit-identity.
+    faults::compile_partition(
+        resolve_schedule(p, faults::FaultSchedule::legacy_partition(2, 0, 0)),
+        &cfg.base);
     cfg.trials = static_cast<std::size_t>(p.get_int("paths"));
     cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
     cfg.threads = static_cast<unsigned>(p.get_int("threads"));
@@ -698,6 +738,7 @@ void register_multi_partition_recovery(ScenarioRegistry& r) {
       .add_int("seed", "master RNG seed", 2024)
       .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
       .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
+  add_faults_param(spec);
   r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
     sim::PartitionTrialsConfig cfg;
     cfg.base.n_validators =
@@ -705,10 +746,17 @@ void register_multi_partition_recovery(ScenarioRegistry& r) {
     cfg.base.beta0 = p.get_double("beta0");
     cfg.base.p0 = p.get_double("p0");
     cfg.base.strategy = strategy_from_name(p.get_string("strategy"));
-    cfg.base.branches = static_cast<std::uint32_t>(p.get_int("branches"));
-    cfg.base.heal_epoch = static_cast<std::size_t>(p.get_int("heal_epoch"));
-    cfg.base.heal_stagger =
-        static_cast<std::size_t>(p.get_int("heal_stagger"));
+    // The heal knobs compile to a schedule (branch b heals at
+    // heal_epoch + (b-1) * heal_stagger) so the run always goes through
+    // the FaultDriver; a non-empty `faults` schedule supersedes
+    // branches/heal_epoch/heal_stagger entirely.
+    faults::compile_partition(
+        resolve_schedule(
+            p, faults::FaultSchedule::legacy_partition(
+                   static_cast<std::uint32_t>(p.get_int("branches")),
+                   static_cast<std::size_t>(p.get_int("heal_epoch")),
+                   static_cast<std::size_t>(p.get_int("heal_stagger")))),
+        &cfg.base);
     cfg.base.max_epochs = static_cast<std::size_t>(p.get_int("max_epochs"));
     // Trajectories are per-epoch bulk the trials never read; sample at
     // the horizon only.
@@ -776,6 +824,279 @@ void register_multi_partition_recovery(ScenarioRegistry& r) {
   });
 }
 
+// --- cascading-partitions -----------------------------------------------
+// The fault harness end to end on the epoch-granular path: a staggered
+// cascade of partition opens healing pairwise, with every healed
+// class's recovery tail cross-checked against both recovery models.
+
+void register_cascading_partitions(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "cascading-partitions",
+      "Cascading partition weather compiled from a FaultSchedule: "
+      "branch b opens at 1 + (b-1) * open_stagger and heals at "
+      "heal_epoch + (b-1) * heal_stagger; every healed class's recovery "
+      "tail is validated per class against analytic::residual_loss "
+      "(closed form) and the exact discrete recurrence; sweep branches "
+      "x open_stagger x heal_stagger");
+  spec.add_int("paths", "randomized-split trials", 16, 1, 1e9)
+      .add_int("n_validators", "total validators", 300, 2, 1e6)
+      .add_double("beta0", "Byzantine stake proportion", 0.0, 0.0, 0.5)
+      .add_string("strategy", "Byzantine strategy during the partition",
+                  "honest", {"honest", "slashable", "semiactive", "overthrow"})
+      .add_int("branches", "partition branches k", 3, 2, 8)
+      .add_int("open_stagger", "epochs between successive branch opens", 300,
+               0, 1e7)
+      .add_int("heal_epoch", "first pairwise heal epoch (0 = never heal)",
+               2500, 0, 1e7)
+      .add_int("heal_stagger", "epochs between successive pairwise heals",
+               500, 0, 1e7)
+      .add_int("max_epochs", "horizon in epochs", 9000, 1, 1e7)
+      .add_int("seed", "master RNG seed", 2024)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
+  add_faults_param(spec);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    sim::PartitionTrialsConfig cfg;
+    cfg.base.n_validators =
+        static_cast<std::uint32_t>(p.get_int("n_validators"));
+    cfg.base.beta0 = p.get_double("beta0");
+    cfg.base.strategy = strategy_from_name(p.get_string("strategy"));
+    cfg.base.max_epochs = static_cast<std::size_t>(p.get_int("max_epochs"));
+    cfg.base.trajectory_stride = cfg.base.max_epochs;
+    faults::compile_partition(
+        resolve_schedule(
+            p, faults::FaultSchedule::staggered_partition(
+                   static_cast<std::uint32_t>(p.get_int("branches")),
+                   static_cast<std::size_t>(p.get_int("open_stagger")),
+                   static_cast<std::size_t>(p.get_int("heal_epoch")),
+                   static_cast<std::size_t>(p.get_int("heal_stagger")))),
+        &cfg.base);
+    cfg.trials = static_cast<std::size_t>(p.get_int("paths"));
+    cfg.seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    cfg.threads = static_cast<unsigned>(p.get_int("threads"));
+    cfg.block = static_cast<std::size_t>(p.get_int("block"));
+    const auto res = sim::run_partition_trials(cfg);
+
+    out->add_metric("conflicting_fraction", res.conflicting_fraction);
+    out->add_metric("beta_exceeded_fraction", res.beta_exceeded_fraction);
+    out->add_metric("mean_conflict_epoch", res.mean_conflict_epoch);
+    out->add_metric("recovered_fraction", res.recovered_fraction);
+    out->add_metric("mean_residual_loss_eth", res.mean_residual_loss_eth);
+    out->add_metric("mean_recovery_epoch", res.mean_recovery_epoch);
+
+    // Per-episode analytic cross-check: the deterministic even-split
+    // run yields one homogeneous class per healed branch, so each
+    // class's exact-arithmetic recovery tail can be compared against
+    // both recovery models class by class.
+    const auto det = sim::run_partition_sim(cfg.base);
+    out->add_metric("det_heal_complete_epoch",
+                    static_cast<double>(det.heal_complete_epoch));
+    out->add_metric("det_recovery_complete_epoch",
+                    static_cast<double>(det.recovery_complete_epoch));
+    out->add_metric("det_residual_loss_total_eth",
+                    det.residual_loss_total_eth);
+    const auto acfg = analytic::AnalyticConfig::paper();
+    std::size_t healed_classes = 0;
+    double max_discrete_rel_err = 0.0;
+    double max_closed_rel_err = 0.0;
+    for (const auto& rec : det.recovery) {
+      // Only classes whose recovery finished inside the horizon have a
+      // measured residual to compare.
+      if (rec.return_epoch < 0 || rec.recovery_epochs < 0) continue;
+      ++healed_classes;
+      const double closed = analytic::residual_loss(
+          rec.score_at_return, rec.stake_at_return_eth, acfg);
+      const double discrete = analytic::residual_loss_discrete(
+          rec.score_at_return, rec.stake_at_return_eth, acfg);
+      const std::string tag = "class_b" + std::to_string(rec.from_branch);
+      out->add_metric(tag + "_score_at_return", rec.score_at_return);
+      out->add_metric(tag + "_residual_loss_eth", rec.residual_loss_eth);
+      out->add_metric(tag + "_residual_loss_closed_eth", closed);
+      out->add_metric(tag + "_residual_loss_discrete_eth", discrete);
+      if (rec.stake_at_return_eth > 0.0) {
+        max_discrete_rel_err = std::max(
+            max_discrete_rel_err,
+            std::fabs(discrete - rec.residual_loss_eth) /
+                rec.stake_at_return_eth);
+      }
+      max_closed_rel_err =
+          std::max(max_closed_rel_err,
+                   std::fabs(closed - rec.residual_loss_eth) / (closed + 0.01));
+    }
+    out->add_metric("healed_classes", static_cast<double>(healed_classes));
+    out->add_metric("max_class_discrete_rel_err", max_discrete_rel_err);
+    out->add_metric("max_class_closed_rel_err", max_closed_rel_err);
+
+    RunningStats peaks;
+    Table rows({"trial", "conflict_epoch", "beta_peak", "residual_loss_eth",
+                "recovery_epoch"});
+    for (std::size_t i = 0; i < res.conflict_epochs.size(); ++i) {
+      peaks.add(res.beta_peaks[i]);
+      rows.add_row({std::to_string(i), std::to_string(res.conflict_epochs[i]),
+                    Table::fmt_exact(res.beta_peaks[i]),
+                    Table::fmt_exact(res.residual_losses_eth[i]),
+                    std::to_string(res.recovery_epochs[i])});
+    }
+    out->add_stats("beta_peak", peaks);
+    RunningStats losses;
+    for (const double l : res.residual_losses_eth) losses.add(l);
+    out->add_stats("residual_loss_eth", losses);
+    out->trials = std::move(rows);
+  });
+}
+
+// --- flaky-network ------------------------------------------------------
+// The fault harness on the event-queue path: scripted latency/loss
+// weather over the slot-level protocol simulator.
+
+void register_flaky_network(ScenarioRegistry& r) {
+  ScenarioSpec spec(
+      "flaky-network",
+      "Scripted network weather on the slot-level protocol simulator: "
+      "a latency episode stretches per-message jitter beyond the "
+      "synchrony bound and a loss episode drops messages from a "
+      "dedicated weather RNG lane (legacy delivery stream untouched), "
+      "measuring finality stalls, message loss, and the leak trigger; "
+      "sweep latency_factor x loss_drop");
+  spec.add_int("paths", "independent simulation trials", 8, 1, 1e6)
+      .add_int("n_honest", "honest validators", 32, 1, 4096)
+      .add_int("n_byzantine", "Byzantine (equivocating) validators", 0, 0,
+               4096)
+      .add_int("epochs", "horizon in epochs", 10, 1, 256)
+      .add_double("p0", "honest fraction assigned to region one", 1.0, 0.0,
+                  1.0)
+      .add_double("gst_epoch",
+                  "epoch at which the partition heals (0 = no partition)",
+                  0.0, 0.0, 1e6)
+      .add_double("delta", "network delay bound in seconds", 1.0, 0.0, 60.0)
+      .add_int("proposer_boost",
+               "fork-choice proposer-boost percent (0 = off, mainnet 40)", 0,
+               0, 100)
+      .add_double("latency_factor",
+                  "jitter stretch on matching links while the latency "
+                  "episode is active (1 = off)",
+                  3.0, 1.0, 100.0)
+      .add_int("latency_from_epoch", "latency episode start epoch", 2, 0, 256)
+      .add_int("latency_span_epochs",
+               "latency episode length in epochs (0 = no episode)", 2, 0, 256)
+      .add_string("latency_link", "links the latency episode afflicts",
+                  "all", {"all", "intra", "cross"})
+      .add_double("loss_drop",
+                  "per-message drop probability while the loss episode is "
+                  "active (0 = off)",
+                  0.15, 0.0, 1.0)
+      .add_int("loss_from_epoch", "loss episode start epoch", 4, 0, 256)
+      .add_int("loss_span_epochs",
+               "loss episode length in epochs (0 = no episode)", 2, 0, 256)
+      .add_string("loss_link", "links the loss episode afflicts", "all",
+                  {"all", "intra", "cross"})
+      .add_int("seed", "master RNG seed", 7)
+      .add_int("threads", "worker threads (0 = auto)", 0, 0, 1024)
+      .add_int("block", "trials per scheduled block (0 = auto)", 0, 0, 1e9);
+  add_faults_param(spec);
+  r.add(std::move(spec), [](const ParamSet& p, ScenarioResult* out) {
+    sim::SlotSimConfig base;
+    base.n_honest = static_cast<std::uint32_t>(p.get_int("n_honest"));
+    base.n_byzantine = static_cast<std::uint32_t>(p.get_int("n_byzantine"));
+    base.epochs = static_cast<std::size_t>(p.get_int("epochs"));
+    base.p0 = p.get_double("p0");
+    base.gst_epoch = p.get_double("gst_epoch");
+    base.delta = p.get_double("delta");
+    base.proposer_boost = static_cast<unsigned>(p.get_int("proposer_boost"));
+
+    // Build the weather timeline from the episode knobs (or take the
+    // `faults` schedule verbatim) and compile it to per-link episodes
+    // in simulated seconds.
+    faults::FaultSchedule knobs;
+    const double factor = p.get_double("latency_factor");
+    const auto latency_span = p.get_int("latency_span_epochs");
+    if (factor != 1.0 && latency_span > 0) {
+      knobs.events.push_back(faults::LatencyEpisode{
+          static_cast<double>(p.get_int("latency_from_epoch")),
+          static_cast<double>(latency_span),
+          link_from_name(p.get_string("latency_link")), factor});
+    }
+    const double drop = p.get_double("loss_drop");
+    const auto loss_span = p.get_int("loss_span_epochs");
+    if (drop > 0.0 && loss_span > 0) {
+      knobs.events.push_back(faults::LossEpisode{
+          static_cast<double>(p.get_int("loss_from_epoch")),
+          static_cast<double>(loss_span),
+          link_from_name(p.get_string("loss_link")), drop});
+    }
+    std::stable_sort(knobs.events.begin(), knobs.events.end(),
+                     [](const faults::FaultEvent& a,
+                        const faults::FaultEvent& b) {
+                       return faults::event_start(a) < faults::event_start(b);
+                     });
+    const faults::FaultSchedule sched =
+        resolve_schedule(p, std::move(knobs));
+    net::NetworkConfig weather;
+    weather.num_nodes = 1;  // scratch: only the episode vectors are read
+    faults::apply_network(
+        sched, static_cast<double>(kSlotsPerEpoch * kSecondsPerSlot),
+        &weather);
+    base.latency_episodes = std::move(weather.latency_episodes);
+    base.loss_episodes = std::move(weather.loss_episodes);
+
+    const auto paths = static_cast<std::size_t>(p.get_int("paths"));
+    const StreamSeeder seeder(static_cast<std::uint64_t>(p.get_int("seed")));
+    const runner::TrialRunner pool(
+        static_cast<unsigned>(p.get_int("threads")));
+    std::vector<sim::SlotSimResult> trials(paths);
+    pool.run_blocks(paths,
+                    runner::resolve_block(
+                        static_cast<std::size_t>(p.get_int("block"))),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        sim::SlotSimConfig cfg = base;
+                        cfg.seed = seeder.seed_for(i);
+                        trials[i] = sim::SlotSim(cfg).run();
+                      }
+                    });
+
+    RunningStats finalized, stalls, delivered, dropped;
+    std::size_t leaks = 0;
+    double dropped_sum = 0.0;
+    double sent_to_drop_sum = 0.0;
+    Table rows({"trial", "finalized_epoch", "finality_stall_epochs",
+                "messages_delivered", "messages_dropped", "leak_observed"});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const auto& t = trials[i];
+      const double fin =
+          t.finalized_epoch.empty()
+              ? 0.0
+              : static_cast<double>(t.finalized_epoch.front());
+      finalized.add(fin);
+      stalls.add(static_cast<double>(t.finality_stall_epochs));
+      delivered.add(static_cast<double>(t.messages_delivered));
+      dropped.add(static_cast<double>(t.messages_dropped));
+      dropped_sum += static_cast<double>(t.messages_dropped);
+      sent_to_drop_sum += static_cast<double>(t.messages_dropped) +
+                          static_cast<double>(t.messages_delivered);
+      if (t.leak_observed) ++leaks;
+      rows.add_row({std::to_string(i), Table::fmt_exact(fin),
+                    std::to_string(t.finality_stall_epochs),
+                    std::to_string(t.messages_delivered),
+                    std::to_string(t.messages_dropped),
+                    t.leak_observed ? "true" : "false"});
+    }
+    const double n = trials.empty() ? 1.0 : static_cast<double>(trials.size());
+    out->add_metric("mean_finalized_epoch", finalized.mean());
+    out->add_metric("mean_finality_stall_epochs", stalls.mean());
+    out->add_metric("mean_messages_delivered", delivered.mean());
+    out->add_metric("mean_messages_dropped", dropped.mean());
+    out->add_metric("dropped_fraction",
+                    sent_to_drop_sum > 0.0 ? dropped_sum / sent_to_drop_sum
+                                           : 0.0);
+    out->add_metric("leak_observed_fraction",
+                    static_cast<double>(leaks) / n);
+    out->add_stats("finalized_epoch", finalized);
+    out->add_stats("messages_dropped", dropped);
+    out->trials = std::move(rows);
+  });
+}
+
 // --- table1 -------------------------------------------------------------
 
 void register_table1(ScenarioRegistry& r) {
@@ -816,6 +1137,8 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   register_balancing_attack(registry);
   register_semiactive_sweep(registry);
   register_multi_partition_recovery(registry);
+  register_cascading_partitions(registry);
+  register_flaky_network(registry);
 }
 
 }  // namespace leak::scenario

@@ -30,6 +30,45 @@ void validate(const PartitionSimConfig& cfg) {
   if (cfg.branches < 2 || cfg.branches > cfg.n_validators) {
     throw std::invalid_argument("run_partition_sim: bad branch count");
   }
+  // p0 only shapes the two-branch split; silently ignoring it with
+  // k > 2 branches turned real config mistakes into plausible results.
+  if (cfg.branches > 2 && cfg.p0 != 0.5) {
+    throw std::invalid_argument(
+        "run_partition_sim: p0 only shapes the two-branch split; with "
+        "branches > 2 the honest assignment is uniform over the branches "
+        "-- leave p0 at its 0.5 default");
+  }
+  if (!cfg.windows.empty()) {
+    if (cfg.windows.size() != cfg.branches - 1) {
+      throw std::invalid_argument(
+          "run_partition_sim: windows must have exactly branches-1 "
+          "entries (got " + std::to_string(cfg.windows.size()) + " for " +
+          std::to_string(cfg.branches) + " branches)");
+    }
+    if (cfg.heal_epoch != 0 || cfg.heal_stagger != 0) {
+      throw std::invalid_argument(
+          "run_partition_sim: windows and heal_epoch/heal_stagger are "
+          "mutually exclusive -- the window schedule is the single source "
+          "of truth");
+    }
+    for (const BranchWindow& w : cfg.windows) {
+      if (w.open_epoch < 1) {
+        throw std::invalid_argument(
+            "run_partition_sim: branch open_epoch must be >= 1");
+      }
+      if (w.heal_epoch != 0 && w.heal_epoch <= w.open_epoch) {
+        throw std::invalid_argument(
+            "run_partition_sim: heal_epoch must be after open_epoch");
+      }
+    }
+  }
+  for (const OutageWindow& o : cfg.outages) {
+    if (o.span_epochs == 0 || o.cohort <= 0.0 || o.cohort > 1.0) {
+      throw std::invalid_argument(
+          "run_partition_sim: outage needs span_epochs >= 1 and a cohort "
+          "in (0, 1]");
+    }
+  }
 }
 
 /// Byzantine validator count implied by the configured proportion.
@@ -58,15 +97,30 @@ PartitionSimResult run_partition_core(
   res.n_honest_branch1 = res.n_honest_per_branch[0];
   res.n_honest_branch2 = k > 1 ? res.n_honest_per_branch[1] : 0;
 
-  // Healing: branch b >= 1 merges into branch 0 at the start of epoch
-  // heal_epoch + (b-1) * heal_stagger; from then on its honest class
-  // attests on branch 0 and the branch itself is frozen.
-  const bool healing = cfg.heal_epoch > 0;
-  const auto heal_at = [&](std::uint32_t b) -> std::size_t {
-    return cfg.heal_epoch +
-           static_cast<std::size_t>(b - 1) * cfg.heal_stagger;
-  };
+  // Per-branch open/heal epochs: the explicit window schedule when
+  // present, otherwise the legacy knobs (every branch opens at epoch 1
+  // and heals at heal_epoch + (b-1) * heal_stagger; heal 0 = never).
+  // Branch b is frozen after its heal: from then on its honest class
+  // attests on branch 0.  Before its open the branch does not exist
+  // yet and its honest class also attests on branch 0.
+  std::vector<std::size_t> open_at(k, 1);
+  std::vector<std::size_t> heal_at(k, 0);
+  if (!cfg.windows.empty()) {
+    for (std::uint32_t b = 1; b < k; ++b) {
+      open_at[b] = cfg.windows[b - 1].open_epoch;
+      heal_at[b] = cfg.windows[b - 1].heal_epoch;
+    }
+  } else if (cfg.heal_epoch > 0) {
+    for (std::uint32_t b = 1; b < k; ++b) {
+      heal_at[b] = cfg.heal_epoch +
+                   static_cast<std::size_t>(b - 1) * cfg.heal_stagger;
+    }
+  }
+  bool healing = false;
+  for (std::uint32_t b = 1; b < k; ++b) healing = healing || heal_at[b] > 0;
   std::vector<std::uint8_t> healed(k, 0);
+  std::vector<std::uint8_t> opened(k, 0);
+  opened[0] = 1;  // the canonical branch is always open
 
   // One registry view and tracker per branch.  With healing enabled the
   // trackers use the real-spec penalty gate (score > 0 keeps paying
@@ -85,8 +139,19 @@ PartitionSimResult run_partition_core(
 
   const auto is_byz = [&](std::uint32_t i) { return i >= n_honest; };
 
+  // Late opens (and scheduled outages) make branch 0's finality
+  // non-monotone: an open after finalization resumed strips active
+  // stake away and re-enters the leak.  Legacy configs (every branch
+  // open from epoch 1, no outages) never take the re-entry path, so
+  // they stay bit-identical.
+  bool cascading = !cfg.outages.empty();
+  for (std::uint32_t b = 1; b < k; ++b) {
+    cascading = cascading || open_at[b] > 1;
+  }
+
   std::vector<std::uint8_t> leak_over(k, 0);
   std::int64_t leak_end_epoch = -1;  ///< branch-0 finalization (with heals)
+  std::int64_t sm_streak_start = -1;  ///< branch-0 supermajority streak
 
   // Recovery bookkeeping: one pending outcome per honest class that is
   // due to return (branches 1..k-1), plus the branch-wide totals.
@@ -110,9 +175,20 @@ PartitionSimResult run_partition_core(
 
   for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
     const Epoch epoch{t};
+    // Cascading opens: a branch opening after epoch 1 forks the
+    // canonical chain's registry state (balances, scores, exits) as of
+    // the fork epoch.  Epoch-1 opens keep the pristine initial state,
+    // exactly the legacy behaviour.
+    for (std::uint32_t b = 1; b < k; ++b) {
+      if (opened[b] == 0 && t >= open_at[b]) {
+        opened[b] = 1;
+        if (t > 1) registry[b] = registry[0];
+      }
+    }
     if (healing) {
       for (std::uint32_t b = 1; b < k; ++b) {
-        if (healed[b] == 0 && t >= heal_at(b)) {
+        if (heal_at[b] == 0) continue;
+        if (healed[b] == 0 && t >= heal_at[b]) {
           healed[b] = 1;
           res.branch[b].healed_epoch = static_cast<std::int64_t>(t);
           pending[b].healed_epoch = static_cast<std::int64_t>(t);
@@ -125,7 +201,20 @@ PartitionSimResult run_partition_core(
     }
     const bool all_healed = healing && res.heal_complete_epoch >= 0;
 
+    // Scheduled outages: the afflicted honest prefix sits out this
+    // epoch on every branch (empty for every legacy config).
+    std::uint32_t outage_cut = 0;
+    for (const OutageWindow& o : cfg.outages) {
+      if (t >= o.from_epoch && t < o.from_epoch + o.span_epochs) {
+        outage_cut = std::max(
+            outage_cut,
+            static_cast<std::uint32_t>(std::llround(
+                o.cohort * static_cast<double>(n_honest))));
+      }
+    }
+
     for (std::uint32_t b = 0; b < k; ++b) {
+      if (opened[b] == 0) continue;
       if (leak_over[b] != 0) continue;
       if (b > 0 && healed[b] != 0) continue;
       if (b == 0 && res.recovery_complete_epoch >= 0) continue;
@@ -181,9 +270,14 @@ PartitionSimResult run_partition_core(
               active[i] = (t % k == b);
               break;
           }
+        } else if (i < outage_cut) {
+          active[i] = false;  // scheduled outage: sits out everywhere
         } else {
+          // Active on its own branch; healed and not-yet-opened
+          // classes attest on the canonical branch.
           const std::uint8_t bi = branch_of_honest[i];
-          active[i] = bi == b || (b == 0 && healed[bi] != 0);
+          active[i] = bi == b ||
+                      (b == 0 && (healed[bi] != 0 || opened[bi] == 0));
         }
       }
 
@@ -218,9 +312,11 @@ PartitionSimResult run_partition_core(
           if (recovering || byzantine_counts_active(cfg.strategy)) {
             active_side += bal;
           }
-        } else {
+        } else if (i >= outage_cut) {
           const std::uint8_t bi = branch_of_honest[i];
-          if (bi == b || (b == 0 && healed[bi] != 0)) active_side += bal;
+          if (bi == b || (b == 0 && (healed[bi] != 0 || opened[bi] == 0))) {
+            active_side += bal;
+          }
         }
       }
       const double beta =
@@ -255,9 +351,38 @@ PartitionSimResult run_partition_core(
       const bool wants_finalize =
           cfg.strategy != Strategy::kSemiActiveOverthrow ||
           (b == 0 && all_healed);
-      if (wants_finalize && out.supermajority_epoch >= 0 &&
-          out.finalization_epoch < 0 &&
-          t > static_cast<std::size_t>(out.supermajority_epoch)) {
+      if (b == 0 && cascading) {
+        // Re-entrant leak: track the *current* supermajority streak
+        // instead of latching the first epoch, because an open can
+        // break a previously restored supermajority.
+        if (supermajority) {
+          if (sm_streak_start < 0) {
+            sm_streak_start = static_cast<std::int64_t>(t);
+          }
+        } else {
+          sm_streak_start = -1;
+          if (leak_end_epoch >= 0) {
+            // Finality lost again; the next recovery tail re-snapshots
+            // its starting balances.
+            leak_end_epoch = -1;
+            recovery_totals_recorded = false;
+            recovery_total_start = Gwei{};
+          }
+        }
+        if (wants_finalize && leak_end_epoch < 0 && sm_streak_start >= 0 &&
+            t > static_cast<std::size_t>(sm_streak_start)) {
+          // One extra epoch of supermajority justifies the next
+          // checkpoint and finalizes the previous one (Section 5.1).
+          if (out.finalization_epoch < 0) {
+            out.finalization_epoch = static_cast<std::int64_t>(t);
+          }
+          // The canonical branch stays live whether or not heals are
+          // scheduled: a later open may re-partition it.
+          leak_end_epoch = static_cast<std::int64_t>(t);
+        }
+      } else if (wants_finalize && out.supermajority_epoch >= 0 &&
+                 out.finalization_epoch < 0 &&
+                 t > static_cast<std::size_t>(out.supermajority_epoch)) {
         // One extra epoch of supermajority justifies the next checkpoint
         // and finalizes the previous one (Section 5.1).
         out.finalization_epoch = static_cast<std::int64_t>(t);

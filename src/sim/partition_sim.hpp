@@ -36,11 +36,33 @@ enum class Strategy : std::uint8_t {
   kSemiActiveOverthrow, ///< Section 5.2.3: alternate; never finalize
 };
 
+/// Explicit partition window for one non-canonical branch (compiled
+/// from a faults::FaultSchedule by faults::compile_partition).  Branch
+/// b (1 <= b < branches) splits off the canonical branch at the start
+/// of `open_epoch` -- forking branch 0's registry state at that
+/// moment -- and merges back at the start of `heal_epoch` (0 = stays
+/// partitioned for the whole horizon).  Until its branch opens, the
+/// branch's honest class attests on branch 0.
+struct BranchWindow {
+  std::size_t open_epoch = 1;
+  std::size_t heal_epoch = 0;
+};
+
+/// Scheduled validator outage: the first round(cohort * n_honest)
+/// honest validators go inactive on every branch during epochs
+/// [from_epoch, from_epoch + span_epochs).
+struct OutageWindow {
+  std::size_t from_epoch = 0;
+  std::size_t span_epochs = 0;
+  double cohort = 0.0;
+};
+
 struct PartitionSimConfig {
   std::uint32_t n_validators = 1000;
   double beta0 = 0.0;  ///< Byzantine stake proportion
-  /// Honest proportion on branch 1 (two-branch case).  With
-  /// branches > 2 the deterministic split is even and p0 is ignored.
+  /// Honest proportion on branch 1 (two-branch case).  Only meaningful
+  /// with branches == 2; combining a non-default p0 with branches > 2
+  /// is rejected (the k-branch split is uniform).
   double p0 = 0.5;
   Strategy strategy = Strategy::kNone;
   std::size_t max_epochs = 6000;
@@ -59,6 +81,18 @@ struct PartitionSimConfig {
   /// into branch 0 at heal_epoch + (b - 1) * heal_stagger.  With
   /// stagger 0 every branch heals at heal_epoch simultaneously.
   std::size_t heal_stagger = 0;
+  /// Explicit per-branch open/heal schedule (entry b-1 describes
+  /// branch b).  Empty = the legacy schedule: every branch opens at
+  /// epoch 1 and heals per heal_epoch/heal_stagger (bit-identical).
+  /// When non-empty it must have exactly branches-1 entries and the
+  /// legacy heal knobs must stay 0 -- the schedule is the single
+  /// source of truth.  Note: a late open forks the canonical registry
+  /// contents only; with use_churn_limit the canonical exit queue is
+  /// not forked, so cascading opens pair with the paper's
+  /// instantaneous-ejection spec.
+  std::vector<BranchWindow> windows;
+  /// Scheduled honest-cohort outages, applied on every branch.
+  std::vector<OutageWindow> outages;
 };
 
 /// Per-branch outcome.

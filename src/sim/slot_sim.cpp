@@ -38,7 +38,9 @@ struct SlotSim::Impl {
                     .delta = config.delta,
                     .min_delay = 0.05,
                     .gst = config.gst_epoch * 32.0 * kSecondsPerSlot,
-                    .seed = config.seed}),
+                    .seed = config.seed,
+                    .latency_episodes = config.latency_episodes,
+                    .loss_episodes = config.loss_episodes}),
         registry(config.n_honest + config.n_byzantine),
         monitor(global_tree) {
     keys = keyreg.generate(n, cfg.seed);
@@ -555,6 +557,7 @@ struct SlotSim::Impl {
 
     result.blocks_seen = views[0]->tree.size();
     result.messages_delivered = network.messages_delivered();
+    result.messages_dropped = network.messages_dropped();
     return result;
   }
 };

@@ -66,6 +66,11 @@ struct SlotSimConfig {
   double cross_delay = 0.1;
   std::uint64_t seed = 1;
   penalties::SpecConfig spec = penalties::SpecConfig::paper();
+  /// Scripted network weather (latency/loss episodes in simulated
+  /// seconds), compiled from a faults::FaultSchedule by
+  /// faults::apply_network.  Empty = the legacy network, bit-identical.
+  std::vector<net::LatencyEpisode> latency_episodes;
+  std::vector<net::LossEpisode> loss_episodes;
 };
 
 /// Everything a test wants to inspect after a run.
@@ -84,6 +89,8 @@ struct SlotSimResult {
   std::size_t blocks_seen = 0;
   /// Total network messages delivered.
   std::uint64_t messages_delivered = 0;
+  /// Per-recipient copies dropped by scripted loss episodes.
+  std::uint64_t messages_dropped = 0;
   /// Per-epoch: did validator 0's finalized checkpoint advance?
   /// (bytes, not vector<bool> -- leaklint D3)
   std::vector<std::uint8_t> finality_advanced;

@@ -172,9 +172,9 @@ TEST(LeaklintLexer, EmptyRuleListIsMalformed) {
 
 TEST(LeaklintClassify, KernelDirsGetKernelRules) {
   for (const std::string_view path :
-       {"src/bouncing/montecarlo.cpp", "src/runner/trial_runner.hpp",
-        "src/search/search.cpp", "src/sim/slot_sim.cpp",
-        "src/penalties/inactivity.cpp"}) {
+       {"src/bouncing/montecarlo.cpp", "src/faults/schedule.cpp",
+        "src/runner/trial_runner.hpp", "src/search/search.cpp",
+        "src/sim/slot_sim.cpp", "src/penalties/inactivity.cpp"}) {
     const FileClass cls = leak::lint::classify(path);
     EXPECT_TRUE(cls.in_src) << path;
     EXPECT_TRUE(cls.kernel_tu) << path;

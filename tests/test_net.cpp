@@ -206,6 +206,104 @@ TEST(NetworkTest, MessageCountersTrack) {
   EXPECT_EQ(rig.net.messages_delivered(), 4u);
 }
 
+// --- scripted weather (latency/loss episodes) ------------------------------
+
+/// Delivery times for one broadcast from node 0 under `c`.
+std::vector<double> broadcast_times(NetworkConfig c) {
+  EventQueue q;
+  Network net(q, c);
+  std::vector<double> times;
+  net.set_deliver([&](ValidatorIndex, const Packet&) {
+    times.push_back(q.now());
+  });
+  net.broadcast(ValidatorIndex{0}, 1);
+  q.run_until(1000.0);
+  return times;
+}
+
+TEST(NetworkWeather, EpisodesOutsideTheSendWindowAreBitIdentical) {
+  // Weather scheduled long after the send must leave every delivery
+  // time untouched: episode checks never consume the jitter stream,
+  // and loss draws come from a dedicated lane.
+  NetworkConfig plain;
+  plain.seed = 42;  // pinned: default, explicit for determinism
+  plain.num_nodes = 6;
+  NetworkConfig weather = plain;
+  weather.latency_episodes.push_back({500.0, 600.0, LinkClass::kAll, 10.0});
+  weather.loss_episodes.push_back({500.0, 600.0, LinkClass::kAll, 0.9});
+  EXPECT_EQ(broadcast_times(plain), broadcast_times(weather));
+}
+
+TEST(NetworkWeather, LatencyEpisodeStretchesJitterDeterministically) {
+  // An active factor-3 episode maps each delivery time t to
+  // min_delay + 3 * (t - min_delay): same jitter draws, stretched.
+  NetworkConfig plain;
+  plain.seed = 42;  // pinned: default, explicit for determinism
+  plain.num_nodes = 6;
+  plain.delta = 1.0;
+  plain.min_delay = 0.05;
+  NetworkConfig slow = plain;
+  slow.latency_episodes.push_back({0.0, 10.0, LinkClass::kAll, 3.0});
+  const auto fast_times = broadcast_times(plain);
+  const auto slow_times = broadcast_times(slow);
+  ASSERT_EQ(fast_times.size(), slow_times.size());
+  for (std::size_t i = 0; i < fast_times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(slow_times[i], 0.05 + 3.0 * (fast_times[i] - 0.05));
+    // factor > 1 deliberately violates the synchrony bound Delta...
+    EXPECT_LE(slow_times[i], 0.05 + 3.0 * (1.0 - 0.05));
+    // ...but never undercuts the propagation floor.
+    EXPECT_GE(slow_times[i], 0.05);
+  }
+}
+
+TEST(NetworkWeather, FullLossDropsEveryCopyAndCounts) {
+  NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
+  c.num_nodes = 5;
+  c.loss_episodes.push_back({0.0, 10.0, LinkClass::kAll, 1.0});
+  Rig rig(c);
+  rig.net.broadcast(ValidatorIndex{0}, 3);
+  rig.queue.run_until(50.0);
+  EXPECT_TRUE(rig.delivered.empty());
+  EXPECT_EQ(rig.net.messages_dropped(), 5u);
+  EXPECT_EQ(rig.net.messages_delivered(), 0u);
+  EXPECT_EQ(rig.net.messages_sent(), 1u);
+}
+
+TEST(NetworkWeather, CrossOnlyLossSparesIntraRegionLinks) {
+  NetworkConfig c;
+  c.seed = 42;  // pinned: default, explicit for determinism
+  c.num_nodes = 4;
+  c.gst = 0.0;  // partition already healed: only the weather bites
+  c.loss_episodes.push_back({0.0, 10.0, LinkClass::kCross, 1.0});
+  Rig rig(c);
+  rig.net.set_region(ValidatorIndex{0}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{1}, Region::kOne);
+  rig.net.set_region(ValidatorIndex{2}, Region::kTwo);
+  rig.net.set_region(ValidatorIndex{3}, Region::kTwo);
+  rig.net.broadcast(ValidatorIndex{0}, 9);
+  rig.queue.run_until(50.0);
+  // Intra copies (self + node 1) land; the two cross copies drop.
+  ASSERT_EQ(rig.delivered.size(), 2u);
+  for (const auto& [to, id] : rig.delivered) EXPECT_LT(to, 2u);
+  EXPECT_EQ(rig.net.messages_dropped(), 2u);
+}
+
+TEST(NetworkWeather, SameSeedSameWeatherOutcome) {
+  NetworkConfig c;
+  c.seed = 7;
+  c.num_nodes = 8;
+  c.loss_episodes.push_back({0.0, 10.0, LinkClass::kAll, 0.5});
+  Rig a(c);
+  Rig b(c);
+  a.net.broadcast(ValidatorIndex{2}, 11);
+  b.net.broadcast(ValidatorIndex{2}, 11);
+  a.queue.run_until(50.0);
+  b.queue.run_until(50.0);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.net.messages_dropped(), b.net.messages_dropped());
+}
+
 TEST(NetworkTest, BadConfigThrows) {
   EventQueue q;
   NetworkConfig c;

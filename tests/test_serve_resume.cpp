@@ -15,6 +15,7 @@
 #include <string>
 #include <thread>
 
+#include "src/faults/schedule.hpp"
 #include "src/scenario/registry.hpp"
 #include "src/scenario/sweep.hpp"
 #include "src/serve/job.hpp"
@@ -130,6 +131,85 @@ TEST_F(ServeResumeTest, Sigkilled9MidSweepResumesBitIdentically) {
   // store, some had to be re-run.
   EXPECT_GT(stats->already_done, 0u);
   EXPECT_GT(stats->executed, 0u);
+  const auto merged = service.merged(*id, /*canonical=*/true, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(merged->dump(2), reference);
+}
+
+// The fault-schedule variant of the headline test: a job whose cells
+// carry an inline `faults` schedule (a cascading staggered-open arc)
+// must survive kill -9 and resume bit-identically — the schedule
+// travels intact through the manifest, the worker cells and the
+// resume fingerprint.
+TEST_F(ServeResumeTest, FaultScheduleJobSigkilledResumesBitIdentically) {
+  const auto& sc = *builtin_registry().find("cascading-partitions");
+  JobSpec job;
+  job.scenario = "cascading-partitions";
+  job.base = sc.spec().defaults();
+  job.base.set("n_validators", std::int64_t{120});
+  job.base.set("max_epochs", std::int64_t{4000});
+  job.base.set("paths",
+               static_cast<std::int64_t>(env::scaled_count(16)));
+  job.base.set("faults", faults::FaultSchedule::staggered_partition(
+                             3, 100, 800, 200)
+                             .dump());
+  scenario::SweepAxis seed_axis, beta_axis;
+  ASSERT_FALSE(
+      scenario::parse_sweep_axis(sc.spec(), "seed=1,2,3", &seed_axis)
+          .has_value());
+  ASSERT_FALSE(
+      scenario::parse_sweep_axis(sc.spec(), "beta0=0.0,0.05", &beta_axis)
+          .has_value());
+  job.axes = {seed_axis, beta_axis};
+  job.config.workers = 2;
+
+  const auto run_clean = [&](const std::string& subdir) -> std::string {
+    JobService service(builtin_registry(), dir_ + "/" + subdir);
+    std::string error;
+    const auto id = service.submit(job, &error);
+    EXPECT_TRUE(id.has_value()) << error;
+    RunOptions opts;
+    opts.backoff_ms = 0;
+    const auto stats = service.run(*id, opts, &error);
+    EXPECT_TRUE(stats.has_value()) << error;
+    EXPECT_TRUE(stats->completed);
+    const auto merged = service.merged(*id, /*canonical=*/true, &error);
+    EXPECT_TRUE(merged.has_value()) << error;
+    return merged->dump(2);
+  };
+  const std::string reference = run_clean("clean");
+
+  JobService service(builtin_registry(), dir_ + "/killed");
+  std::string error;
+  const auto id = service.submit(job, &error);
+  ASSERT_TRUE(id.has_value()) << error;
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    JobService child_service(builtin_registry(), dir_ + "/killed");
+    RunOptions opts;
+    opts.backoff_ms = 0;
+    std::string child_error;
+    (void)child_service.run(*id, opts, &child_error);
+    ::_exit(0);
+  }
+  const ResultsStore store(service.job_dir(*id) + "/results.jsonl");
+  for (int i = 0; i < 4000 && store.scan().records.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(child, SIGKILL);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  RunOptions opts;
+  opts.backoff_ms = 0;
+  const auto stats = service.run(*id, opts, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->already_done + stats->executed, stats->total_cells);
+  EXPECT_GT(stats->already_done, 0u);
   const auto merged = service.merged(*id, /*canonical=*/true, &error);
   ASSERT_TRUE(merged.has_value()) << error;
   EXPECT_EQ(merged->dump(2), reference);

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the fault-injection harness (CI runs this in
+# the scenario-matrix job; it is also the quickest local check that
+# the scripted-weather contract holds on this machine).
+#
+# The contract it proves, with a real binary and the committed example
+# schedules:
+#
+#   1. Both fault scenarios (cascading-partitions, flaky-network) run
+#      green at --paths 64 and emit valid JSON.
+#   2. A schedule file loaded via `leakctl run --faults FILE` produces
+#      metrics/stats/trials BYTE-IDENTICAL to the equivalent knob run:
+#      examples/schedules/cascade.json and flaky.json encode exactly
+#      the scenarios' default geometry, so the compiled FaultSchedule
+#      path and the knob path must agree bit for bit.
+#
+# Usage: tools/faults_smoke.sh [-b BUILD_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -b) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [-b BUILD_DIR]" >&2; exit 2 ;;
+  esac
+done
+
+LEAKCTL="${BUILD_DIR}/examples/leakctl"
+if [[ ! -x "${LEAKCTL}" ]]; then
+  echo "error: ${LEAKCTL} not found - build it first:" >&2
+  echo "  cmake -B \"${BUILD_DIR}\" -S \"${REPO_ROOT}\" && cmake --build \"${BUILD_DIR}\" --target leakctl -j" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/leak_faults_smoke.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+
+# Non-geometry knobs only: the partition/weather geometry stays at the
+# scenario defaults, which is exactly what the example schedules encode.
+CASCADE_SETS=(--set n_validators=120 --set max_epochs=6000)
+FLAKY_SETS=(--set n_honest=16 --set epochs=8)
+
+echo "== both fault scenarios run green at --paths 64 =="
+"${LEAKCTL}" run cascading-partitions --paths 64 \
+  --set n_validators=90 --set max_epochs=4000 \
+  --set heal_epoch=1000 --set heal_stagger=200 --set open_stagger=100 \
+  --quiet --json "${WORK}/cascade-64.json"
+"${LEAKCTL}" run flaky-network --paths 64 "${FLAKY_SETS[@]}" \
+  --quiet --json "${WORK}/flaky-64.json"
+python3 -c "import json,sys
+for p in sys.argv[1:]:
+    json.load(open(p))" "${WORK}/cascade-64.json" "${WORK}/flaky-64.json"
+
+compare() {
+  local label="$1" knobs="$2" faults="$3"
+  python3 - "${knobs}" "${faults}" "${label}" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+label = sys.argv[3]
+for key in ("metrics", "stats", "trials"):
+    if a.get(key) != b.get(key):
+        sys.exit(f"FAIL ({label}): {key} differ between knob and --faults runs")
+if not b["params"].get("faults"):
+    sys.exit(f"FAIL ({label}): the --faults run did not record its schedule")
+print(f"OK ({label}): metrics/stats/trials byte-equal, schedule recorded")
+EOF
+}
+
+echo "== cascade.json via --faults == knob run, bit for bit =="
+"${LEAKCTL}" run cascading-partitions --paths 4 "${CASCADE_SETS[@]}" \
+  --quiet --json "${WORK}/cascade-knobs.json"
+"${LEAKCTL}" run cascading-partitions --paths 4 "${CASCADE_SETS[@]}" \
+  --faults "${REPO_ROOT}/examples/schedules/cascade.json" \
+  --quiet --json "${WORK}/cascade-faults.json"
+compare "cascading-partitions" \
+  "${WORK}/cascade-knobs.json" "${WORK}/cascade-faults.json"
+
+echo "== flaky.json via --faults == knob run, bit for bit =="
+"${LEAKCTL}" run flaky-network --paths 4 "${FLAKY_SETS[@]}" \
+  --quiet --json "${WORK}/flaky-knobs.json"
+"${LEAKCTL}" run flaky-network --paths 4 "${FLAKY_SETS[@]}" \
+  --faults "${REPO_ROOT}/examples/schedules/flaky.json" \
+  --quiet --json "${WORK}/flaky-faults.json"
+compare "flaky-network" \
+  "${WORK}/flaky-knobs.json" "${WORK}/flaky-faults.json"
+
+echo "PASS: fault-injection smoke complete"

@@ -52,5 +52,10 @@ run_baseline semiactive-sweep    --paths 64 --set epochs=1000 --set branches=3
 run_baseline multi-partition-recovery \
   --paths 4 --set n_validators=200 --set branches=3 \
   --set heal_epoch=1200 --set heal_stagger=300 --set max_epochs=4000
+run_baseline cascading-partitions \
+  --paths 4 --set n_validators=120 --set branches=3 \
+  --set open_stagger=300 --set heal_epoch=2500 --set heal_stagger=500 \
+  --set max_epochs=6000
+run_baseline flaky-network       --paths 2 --set n_honest=16 --set epochs=8
 
 echo "wrote $(ls "${OUT_DIR}"/*.json | wc -l) baselines to ${OUT_DIR}"
