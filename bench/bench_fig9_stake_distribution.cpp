@@ -12,6 +12,7 @@
 #include "src/runner/thread_pool.hpp"
 #include "src/scenario/registry.hpp"
 #include "src/support/stats.hpp"
+#include "tests/oracles/scalar_oracles.hpp"
 
 namespace {
 
@@ -110,15 +111,16 @@ BENCHMARK(BM_MonteCarloPaths)->Arg(500)->Arg(2000)
 // Scalar reference kernel on the 10k-path Figure 9 run, single thread:
 // the baseline the batched kernel must beat (the CI bench-smoke job
 // compares BM_MonteCarloBlockSize against this, tools/
-// check_bench_speedup.py).  items = path-epochs; paths/sec is
-// items_per_second / 2000.
+// check_bench_speedup.py).  The scalar kernel now lives in the test
+// oracle library (tests/oracles/) — production code no longer carries
+// it.  items = path-epochs; paths/sec is items_per_second / 2000.
 void BM_MonteCarloScalarRef(benchmark::State& state) {
   bouncing::McConfig mc;
   mc.paths = 10000;
   mc.epochs = 2000;
   mc.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bouncing::run_bouncing_mc_scalar(mc, {2000}));
+    benchmark::DoNotOptimize(oracle::run_bouncing_mc_scalar(mc, {2000}));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(mc.paths) * 2000);

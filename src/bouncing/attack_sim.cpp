@@ -4,7 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
+#include "src/kernel/accumulators.hpp"
+#include "src/kernel/cohort.hpp"
 #include "src/runner/thread_pool.hpp"
 #include "src/runner/trial_runner.hpp"
 #include "src/support/random.hpp"
@@ -24,20 +27,25 @@ struct RunOutcome {
 RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
   RunOutcome out;
   const std::size_t n = cfg.honest_validators;
-  // Honest stake/score from branch A's viewpoint; Byzantine validators
-  // are semi-active on A (active every other epoch).
-  std::vector<double> stake(n, cfg.model.initial_stake);
-  std::vector<double> score(n, 0.0);
-  std::vector<std::uint8_t> ejected(n, 0);
+  // Honest stake/score from branch A's viewpoint rides the SoA
+  // draw/update kernel: the run's single RNG stream feeds the lottery
+  // draw, then one uniform per live validator in index order — exactly
+  // the scalar oracle's consumption order — and the update pass is
+  // branchless over the lanes.  Byzantine validators are semi-active
+  // on A (active every other epoch), scalar as before.  Scratch is per
+  // worker thread, reused across the runs it claims — purely an
+  // allocation cache, fully re-initialized per run.
+  // leaklint: allow(D5): per-thread allocation cache only; contents fully re-initialized per run, results bit-identical across thread counts
+  static thread_local kernel::LeakCohort cohort;
+  cohort.reset(n, cfg.model);
   double byz_stake = cfg.model.initial_stake;
   double byz_score = 0.0;
   bool byz_ejected = false;
 
   for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
     // Current stake-weighted Byzantine proportion on branch A.
-    double honest_total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) honest_total += stake[i];
-    const double honest_mean = honest_total / static_cast<double>(n);
+    const double honest_mean =
+        cohort.stake_sum() / static_cast<double>(n);
     const double byz_mass = cfg.beta0 * byz_stake;
     const double denom = byz_mass + (1.0 - cfg.beta0) * honest_mean;
     const double beta = denom > 0.0 ? byz_mass / denom : 0.0;
@@ -56,20 +64,8 @@ RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
     out.duration = t;
 
     // One epoch of Figure 8 dynamics.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (ejected[i] != 0) continue;
-      stake[i] -= score[i] * stake[i] / cfg.model.quotient;
-      const bool active = rng.bernoulli(cfg.p0);
-      if (active) {
-        score[i] = std::max(score[i] - cfg.model.score_active_decrement, 0.0);
-      } else {
-        score[i] += cfg.model.score_bias;
-      }
-      if (stake[i] <= cfg.model.ejection_threshold) {
-        ejected[i] = 1;
-        stake[i] = 0.0;
-      }
-    }
+    cohort.draw(rng);
+    cohort.update(cfg.model, cfg.p0);
     if (!byz_ejected) {
       byz_stake -= byz_score * byz_stake / cfg.model.quotient;
       if (t % 2 == 0) {
@@ -86,48 +82,82 @@ RunOutcome simulate_attack_run(const AttackSimConfig& cfg, Rng rng) {
   return out;
 }
 
+/// Order-fed aggregate shared by the full and summary modes: the
+/// duration summary and the break count see runs in ascending run
+/// order in both, so every derived statistic is bit-identical.
+struct AttackTally {
+  kernel::DurationSummary durations;
+  std::size_t broken = 0;
+  void add(const RunOutcome& out) {
+    durations.add(out.duration);
+    if (out.break_epoch >= 0) ++broken;
+  }
+};
+
 }  // namespace
 
 AttackSimResult run_attack_sim(const AttackSimConfig& cfg) {
   if (cfg.runs == 0 || cfg.honest_validators == 0) {
     throw std::invalid_argument("run_attack_sim: empty configuration");
   }
-  // Block-scheduled fan-out straight into the result's preallocated
-  // slabs; run i always draws from the (seed, i) stream and writes at
-  // its own index, so there is no merge step and the result is
-  // bit-identical for every (block, threads) combination.
+  // Run i always draws from the (seed, i) stream, so the result is
+  // bit-identical for every (block, threads) combination in either
+  // mode.
   const StreamSeeder seeder(cfg.seed);
   const runner::TrialRunner pool(cfg.threads);
+  const std::size_t block = runner::resolve_block(cfg.block);
   AttackSimResult res;
-  res.durations.assign(cfg.runs, 0);
-  std::vector<std::int64_t> break_epochs(cfg.runs, -1);
-  pool.run_blocks(cfg.runs, runner::resolve_block(cfg.block),
-                  [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t run = begin; run < end; ++run) {
-                      const auto out =
-                          simulate_attack_run(cfg, seeder.stream(run));
-                      res.durations[run] = out.duration;
-                      break_epochs[run] = out.break_epoch;
-                    }
-                  });
-
-  // Compact the successful runs in run order.
-  std::size_t broken = 0;
-  for (const std::int64_t epoch : break_epochs) {
-    if (epoch >= 0) {
-      res.break_epochs.push_back(static_cast<std::uint64_t>(epoch));
-      ++broken;
+  AttackTally tally;
+  if (cfg.keep_runs) {
+    // Full mode: block-scheduled fan-out straight into the result's
+    // preallocated slabs (no merge step), then aggregate in run order.
+    res.durations.assign(cfg.runs, 0);
+    std::vector<std::int64_t> break_epochs(cfg.runs, -1);
+    pool.run_blocks(cfg.runs, block,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t run = begin; run < end; ++run) {
+                        const auto out =
+                            simulate_attack_run(cfg, seeder.stream(run));
+                        res.durations[run] = out.duration;
+                        break_epochs[run] = out.break_epoch;
+                      }
+                    });
+    // Compact the successful runs in run order.
+    for (std::size_t run = 0; run < cfg.runs; ++run) {
+      tally.add(RunOutcome{res.durations[run], break_epochs[run]});
+      if (break_epochs[run] >= 0) {
+        res.break_epochs.push_back(
+            static_cast<std::uint64_t>(break_epochs[run]));
+      }
     }
+  } else {
+    // Summary mode: per-block outcome slabs fold through the ordered
+    // reduction tree in ascending block order — the same add() calls
+    // in the same run order as full mode, without the O(runs) slabs.
+    struct OutcomeFold {
+      AttackTally* tally;
+      void fold(std::size_t, std::size_t,
+                std::vector<RunOutcome>&& outcomes) const {
+        for (const auto& out : outcomes) tally->add(out);
+      }
+    };
+    (void)pool.run_reduce(cfg.runs, block, OutcomeFold{&tally},
+                          [&](std::size_t begin, std::size_t end) {
+                            std::vector<RunOutcome> outcomes;
+                            outcomes.reserve(end - begin);
+                            for (std::size_t run = begin; run < end; ++run) {
+                              outcomes.push_back(simulate_attack_run(
+                                  cfg, seeder.stream(run)));
+                            }
+                            return outcomes;
+                          });
   }
 
   res.prob_threshold_broken =
-      static_cast<double>(broken) / static_cast<double>(cfg.runs);
-  std::vector<double> d(res.durations.begin(), res.durations.end());
-  RunningStats st;
-  for (double x : d) st.add(x);
-  res.mean_duration = st.mean();
-  res.median_duration = quantile(d, 0.5);
-  res.p99_duration = quantile(d, 0.99);
+      static_cast<double>(tally.broken) / static_cast<double>(cfg.runs);
+  res.mean_duration = tally.durations.mean();
+  res.median_duration = tally.durations.quantile(0.5);
+  res.p99_duration = tally.durations.quantile(0.99);
   return res;
 }
 

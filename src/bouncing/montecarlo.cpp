@@ -3,52 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
-#include "src/analytic/duty_cycle.hpp"
-#include "src/analytic/stake_model.hpp"
-#include "src/bouncing/montecarlo_batch.hpp"
+#include "src/kernel/accumulators.hpp"
+#include "src/kernel/cohort.hpp"
+#include "src/kernel/stake_batch.hpp"
 #include "src/runner/thread_pool.hpp"
 #include "src/runner/trial_runner.hpp"
 
 namespace leak::bouncing {
 
 namespace {
-
-/// One path of the Figure 8 dynamics as a pure function of its RNG
-/// stream: returns the path's stake at each snapshot epoch (0 once
-/// ejected).  All derived statistics are computed at merge time, so a
-/// path depends only on (cfg, snapshot grid, rng).
-std::vector<double> simulate_path(const McConfig& cfg,
-                                  const std::vector<std::size_t>& snaps,
-                                  Rng rng) {
-  std::vector<double> at_snap;
-  at_snap.reserve(snaps.size());
-  double stake = cfg.model.initial_stake;
-  double score = 0.0;
-  bool ejected = false;
-  std::size_t next_snap = 0;
-  for (std::size_t t = 1; t <= cfg.epochs && next_snap < snaps.size(); ++t) {
-    if (!ejected) {
-      // Eq 2 penalty with previous score, then Eq 1 update (floored).
-      stake -= score * stake / cfg.model.quotient;
-      const bool active = rng.bernoulli(cfg.p0);
-      if (active) {
-        score = std::max(score - cfg.model.score_active_decrement, 0.0);
-      } else {
-        score += cfg.model.score_bias;
-      }
-      if (stake <= cfg.model.ejection_threshold) {
-        ejected = true;
-        stake = 0.0;
-      }
-    }
-    if (t == snaps[next_snap]) {
-      at_snap.push_back(stake);
-      ++next_snap;
-    }
-  }
-  return at_snap;
-}
 
 void validate_grid(const McConfig& cfg,
                    const std::vector<std::size_t>& snapshot_epochs) {
@@ -66,70 +31,6 @@ void validate_grid(const McConfig& cfg,
   }
 }
 
-/// Streaming per-snapshot reduction shared by the scalar and batched
-/// drivers.  Each snapshot's accumulators must be fed its paths in
-/// ascending path order (the accumulators are order-sensitive in
-/// floating point); snapshots are independent of each other.
-class SnapshotAccumulators {
- public:
-  SnapshotAccumulators(const McConfig& cfg,
-                       const std::vector<std::size_t>& snaps)
-      : initial_stake_(cfg.model.initial_stake),
-        ejected_(snaps.size(), 0),
-        capped_(snaps.size(), 0),
-        exceeds_(snaps.size(), 0),
-        stats_(snaps.size()),
-        median_alive_(snaps.size(), P2Quantile(0.5)) {
-    // Byzantine (1-in-m duty-cycled; m = 2 is the paper's semi-active
-    // case) reference stake at each snapshot epoch for the Eq 23
-    // exceedance criterion.
-    threshold_.resize(snaps.size());
-    for (std::size_t k = 0; k < snaps.size(); ++k) {
-      threshold_[k] = analytic::multibranch_exceed_threshold(
-          cfg.branches, cfg.beta0, static_cast<double>(snaps[k]), cfg.model);
-    }
-  }
-
-  /// Fold one path's stake at snapshot k (ejection <=> stake flushed
-  /// to exactly 0: live stake always stays above the threshold).
-  void add(std::size_t k, double stake) {
-    if (stake == 0.0) {
-      ++ejected_[k];
-    } else {
-      median_alive_[k].add(stake);
-    }
-    if (stake >= initial_stake_) ++capped_[k];
-    if (stake < threshold_[k]) ++exceeds_[k];
-    stats_[k].add(stake);
-  }
-
-  /// Freeze the counts into fractions and move the summaries out.
-  void finalize(std::size_t n_paths, McResult* res) {
-    const auto snapshots = stats_.size();
-    const double n = static_cast<double>(n_paths);
-    res->ejected_fraction.resize(snapshots);
-    res->capped_fraction.resize(snapshots);
-    res->prob_beta_exceeds.resize(snapshots);
-    res->median_alive_estimate.resize(snapshots);
-    for (std::size_t k = 0; k < snapshots; ++k) {
-      res->ejected_fraction[k] = static_cast<double>(ejected_[k]) / n;
-      res->capped_fraction[k] = static_cast<double>(capped_[k]) / n;
-      res->prob_beta_exceeds[k] = static_cast<double>(exceeds_[k]) / n;
-      res->median_alive_estimate[k] = median_alive_[k].estimate();
-    }
-    res->stake_stats = std::move(stats_);
-  }
-
- private:
-  double initial_stake_;
-  std::vector<double> threshold_;
-  std::vector<std::size_t> ejected_;
-  std::vector<std::size_t> capped_;
-  std::vector<std::size_t> exceeds_;
-  std::vector<RunningStats> stats_;
-  std::vector<P2Quantile> median_alive_;
-};
-
 }  // namespace
 
 McResult run_bouncing_mc(const McConfig& cfg,
@@ -138,7 +39,13 @@ McResult run_bouncing_mc(const McConfig& cfg,
   McResult res;
   res.epochs = snapshot_epochs;
   const std::size_t snapshots = snapshot_epochs.size();
-  SnapshotAccumulators acc(cfg, snapshot_epochs);
+  kernel::SnapshotAccumulators acc(cfg.branches, cfg.beta0, cfg.model,
+                                   snapshot_epochs);
+  const auto finalize = [&] {
+    acc.finalize(cfg.paths, &res.ejected_fraction, &res.capped_fraction,
+                 &res.prob_beta_exceeds, &res.median_alive_estimate,
+                 &res.stake_stats);
+  };
 
   const std::size_t block = runner::resolve_block(cfg.block);
   const StreamSeeder seeder(cfg.seed);
@@ -161,13 +68,14 @@ McResult run_bouncing_mc(const McConfig& cfg,
                       // every value in it is re-derived from the
                       // (seed, path) stream before use, so thread
                       // placement can never reach the results
-                      // (enforced by the scalar-vs-batched
+                      // (enforced by the oracle-vs-batched
                       // bit-identity suite).
                       // leaklint: allow(D5): per-thread allocation cache only; contents fully re-seeded per block, results bit-identical across thread counts
-                      static thread_local BatchPaths scratch;
-                      simulate_stake_block(cfg, snapshot_epochs, seeder,
-                                           begin, end - begin, scratch,
-                                           rows.data(), begin);
+                      static thread_local kernel::BatchPaths scratch;
+                      kernel::simulate_stake_block(
+                          cfg.model, cfg.p0, cfg.epochs, snapshot_epochs,
+                          seeder, begin, end - begin, scratch, rows.data(),
+                          begin);
                     });
     for (std::size_t k = 0; k < snapshots; ++k) {
       for (std::size_t p = 0; p < cfg.paths; ++p) {
@@ -176,15 +84,28 @@ McResult run_bouncing_mc(const McConfig& cfg,
     }
   } else {
     // Summary mode: each block fills a transient snapshots x block
-    // slab, folded into the accumulators in ascending block order, so
-    // peak memory is O(threads x block x snapshots) and every
-    // accumulator still sees paths in index order.
+    // slab, folded into the accumulators in ascending block order by
+    // the runner's ordered reduction tree, so peak memory is
+    // O(threads x block x snapshots) and every accumulator still sees
+    // paths in index order.
     struct BlockSlab {
       std::size_t n_paths = 0;
       std::vector<double> data;  ///< row-major [snapshot][path in block]
     };
-    pool.run_blocks(
-        cfg.paths, block,
+    struct SlabFold {
+      kernel::SnapshotAccumulators* acc;
+      std::size_t snapshots;
+      void fold(std::size_t, std::size_t, BlockSlab&& slab) const {
+        for (std::size_t k = 0; k < snapshots; ++k) {
+          const double* row = slab.data.data() + k * slab.n_paths;
+          for (std::size_t i = 0; i < slab.n_paths; ++i) {
+            acc->add(k, row[i]);
+          }
+        }
+      }
+    };
+    (void)pool.run_reduce(
+        cfg.paths, block, SlabFold{&acc, snapshots},
         [&](std::size_t begin, std::size_t end) {
           BlockSlab slab;
           slab.n_paths = end - begin;
@@ -195,53 +116,14 @@ McResult run_bouncing_mc(const McConfig& cfg,
           }
           // Same allocation-cache pattern as the keep-paths branch.
           // leaklint: allow(D5): per-thread allocation cache only; contents fully re-seeded per block, results bit-identical across thread counts
-          static thread_local BatchPaths scratch;
-          simulate_stake_block(cfg, snapshot_epochs, seeder, begin,
-                               slab.n_paths, scratch, rows.data(), 0);
+          static thread_local kernel::BatchPaths scratch;
+          kernel::simulate_stake_block(cfg.model, cfg.p0, cfg.epochs,
+                                       snapshot_epochs, seeder, begin,
+                                       slab.n_paths, scratch, rows.data(), 0);
           return slab;
-        },
-        [&](std::size_t, std::size_t, BlockSlab slab) {
-          for (std::size_t k = 0; k < snapshots; ++k) {
-            const double* row = slab.data.data() + k * slab.n_paths;
-            for (std::size_t i = 0; i < slab.n_paths; ++i) {
-              acc.add(k, row[i]);
-            }
-          }
         });
   }
-  acc.finalize(cfg.paths, &res);
-  return res;
-}
-
-McResult run_bouncing_mc_scalar(
-    const McConfig& cfg, const std::vector<std::size_t>& snapshot_epochs) {
-  validate_grid(cfg, snapshot_epochs);
-  McResult res;
-  res.epochs = snapshot_epochs;
-  res.stakes.assign(snapshot_epochs.size(), {});
-  for (auto& v : res.stakes) v.reserve(cfg.paths);
-
-  // Fan the paths across the pool; each draws from its own counter
-  // stream, so the result is independent of the thread count.
-  const StreamSeeder seeder(cfg.seed);
-  const runner::TrialRunner pool(cfg.threads);
-  const auto per_path = pool.run(cfg.paths, [&](std::size_t path) {
-    return simulate_path(cfg, snapshot_epochs, seeder.stream(path));
-  });
-
-  // Merge in path order.
-  for (const auto& at_snap : per_path) {
-    for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
-      res.stakes[k].push_back(at_snap[k]);
-    }
-  }
-  SnapshotAccumulators acc(cfg, snapshot_epochs);
-  for (std::size_t k = 0; k < snapshot_epochs.size(); ++k) {
-    for (std::size_t p = 0; p < cfg.paths; ++p) {
-      acc.add(k, res.stakes[k][p]);
-    }
-  }
-  acc.finalize(cfg.paths, &res);
+  finalize();
   return res;
 }
 
@@ -249,11 +131,14 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
   PopulationRunResult res;
   Rng rng(cfg.seed);
   const std::uint32_t n = cfg.honest_validators;
-  std::vector<double> stake(n, cfg.model.initial_stake);
-  std::vector<double> score(n, 0.0);
-  // uint8_t, not vector<bool>: SoA-consistent flat bytes (and immune
-  // to the packed-word aliasing the runner's static_assert guards).
-  std::vector<std::uint8_t> ejected(n, 0);
+  // Honest cohort rides the SoA draw/update kernel: one uniform per
+  // live validator in index order (exactly the scalar oracle's stream
+  // consumption), then a branchless vectorized update pass.  Scratch
+  // is per worker thread, reused across the runs it claims — purely an
+  // allocation cache, fully re-initialized per call.
+  // leaklint: allow(D5): per-thread allocation cache only; contents fully re-initialized per run, results bit-identical across thread counts
+  static thread_local kernel::LeakCohort cohort;
+  cohort.reset(n, cfg.model);
 
   // Byzantine stake per validator-equivalent; they are semi-active on
   // branch A (tracked branch), with their own floored discrete dynamics.
@@ -263,20 +148,8 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
 
   for (std::size_t t = 1; t <= cfg.epochs; ++t) {
     // Honest validators: iid branch assignment (Figure 8).
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (ejected[i] != 0) continue;
-      stake[i] -= score[i] * stake[i] / cfg.model.quotient;
-      const bool active = rng.bernoulli(cfg.p0);
-      if (active) {
-        score[i] = std::max(score[i] - cfg.model.score_active_decrement, 0.0);
-      } else {
-        score[i] += cfg.model.score_bias;
-      }
-      if (stake[i] <= cfg.model.ejection_threshold) {
-        ejected[i] = 1;
-        stake[i] = 0.0;
-      }
-    }
+    cohort.draw(rng);
+    cohort.update(cfg.model, cfg.p0);
     // Byzantine: semi-active from branch A's viewpoint.
     if (!byz_ejected) {
       byz_stake -= byz_score * byz_stake / cfg.model.quotient;
@@ -292,9 +165,7 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
       }
     }
     // Branch-level Byzantine proportion (Eq 23 with population averages).
-    double honest_total = 0.0;
-    for (std::uint32_t i = 0; i < n; ++i) honest_total += stake[i];
-    const double honest_mean = honest_total / static_cast<double>(n);
+    const double honest_mean = cohort.stake_sum() / static_cast<double>(n);
     const double byz = cfg.beta0 * byz_stake;
     const double denom = byz + (1.0 - cfg.beta0) * honest_mean;
     const double beta = denom > 0.0 ? byz / denom : 0.0;
@@ -306,6 +177,40 @@ PopulationRunResult run_population_bouncing(const PopulationRunConfig& cfg) {
   return res;
 }
 
+namespace {
+
+/// Order-fed aggregate shared by the population ensemble's full and
+/// summary modes: integer count plus an ascending-index double sum, so
+/// both modes produce bit-identical fractions.
+struct PopulationTally {
+  std::size_t exceeded = 0;
+  double beta_sum = 0.0;
+  void add(std::int64_t first_exceed_epoch, double final_beta) {
+    if (first_exceed_epoch >= 0) ++exceeded;
+    beta_sum += final_beta;
+  }
+};
+
+/// One path's surviving scalars.
+struct PopulationOutcome {
+  std::int64_t first_exceed_epoch = -1;
+  double final_beta = 0.0;
+};
+
+PopulationOutcome population_outcome(const PopulationRunConfig& base,
+                                     const StreamSeeder& seeder,
+                                     std::size_t path) {
+  PopulationRunConfig per_path = base;
+  per_path.seed = seeder.seed_for(path);
+  const auto r = run_population_bouncing(per_path);
+  PopulationOutcome out;
+  out.first_exceed_epoch = r.first_exceed_epoch;
+  if (!r.beta_trajectory.empty()) out.final_beta = r.beta_trajectory.back();
+  return out;
+}
+
+}  // namespace
+
 PopulationEnsembleResult run_population_ensemble(
     const PopulationEnsembleConfig& cfg) {
   if (cfg.paths == 0) {
@@ -313,36 +218,56 @@ PopulationEnsembleResult run_population_ensemble(
   }
   const StreamSeeder seeder(cfg.base.seed);
   const runner::TrialRunner pool(cfg.threads);
+  const std::size_t block = runner::resolve_block(cfg.block);
 
-  // Block-scheduled fan-out into preallocated outcome slabs: only the
-  // two scalars the ensemble aggregates survive a path, never its
-  // full trajectory.
   PopulationEnsembleResult res;
-  res.first_exceed_epochs.assign(cfg.paths, -1);
-  std::vector<double> final_beta(cfg.paths, 0.0);
-  pool.run_blocks(cfg.paths, runner::resolve_block(cfg.block),
-                  [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t path = begin; path < end; ++path) {
-                      PopulationRunConfig per_path = cfg.base;
-                      per_path.seed = seeder.seed_for(path);
-                      const auto r = run_population_bouncing(per_path);
-                      res.first_exceed_epochs[path] = r.first_exceed_epoch;
-                      if (!r.beta_trajectory.empty()) {
-                        final_beta[path] = r.beta_trajectory.back();
+  PopulationTally tally;
+  if (cfg.keep_paths) {
+    // Full mode: block-scheduled fan-out into preallocated outcome
+    // slabs (only the two scalars the ensemble aggregates survive a
+    // path, never its full trajectory), then aggregate in path order.
+    res.first_exceed_epochs.assign(cfg.paths, -1);
+    std::vector<double> final_beta(cfg.paths, 0.0);
+    pool.run_blocks(cfg.paths, block,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t path = begin; path < end; ++path) {
+                        const auto out =
+                            population_outcome(cfg.base, seeder, path);
+                        res.first_exceed_epochs[path] = out.first_exceed_epoch;
+                        final_beta[path] = out.final_beta;
                       }
-                    }
-                  });
-
-  // Aggregate in path order.
-  std::size_t exceeded = 0;
-  double beta_sum = 0.0;
-  for (std::size_t path = 0; path < cfg.paths; ++path) {
-    if (res.first_exceed_epochs[path] >= 0) ++exceeded;
-    beta_sum += final_beta[path];
+                    });
+    for (std::size_t path = 0; path < cfg.paths; ++path) {
+      tally.add(res.first_exceed_epochs[path], final_beta[path]);
+    }
+  } else {
+    // Summary mode: per-block outcome slabs fold through the ordered
+    // reduction tree in ascending block order — the same add() calls
+    // in the same path order as full mode, without the O(paths) slabs.
+    struct OutcomeFold {
+      PopulationTally* tally;
+      void fold(std::size_t, std::size_t,
+                std::vector<PopulationOutcome>&& outcomes) const {
+        for (const auto& out : outcomes) {
+          tally->add(out.first_exceed_epoch, out.final_beta);
+        }
+      }
+    };
+    (void)pool.run_reduce(cfg.paths, block, OutcomeFold{&tally},
+                          [&](std::size_t begin, std::size_t end) {
+                            std::vector<PopulationOutcome> outcomes;
+                            outcomes.reserve(end - begin);
+                            for (std::size_t path = begin; path < end;
+                                 ++path) {
+                              outcomes.push_back(
+                                  population_outcome(cfg.base, seeder, path));
+                            }
+                            return outcomes;
+                          });
   }
   res.exceed_fraction =
-      static_cast<double>(exceeded) / static_cast<double>(cfg.paths);
-  res.mean_final_beta = beta_sum / static_cast<double>(cfg.paths);
+      static_cast<double>(tally.exceeded) / static_cast<double>(cfg.paths);
+  res.mean_final_beta = tally.beta_sum / static_cast<double>(cfg.paths);
   return res;
 }
 

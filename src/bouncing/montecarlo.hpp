@@ -33,7 +33,7 @@ struct McConfig {
   /// index order.
   unsigned threads = 0;
   /// Paths simulated per lockstep block by the batched SoA kernel
-  /// (src/bouncing/montecarlo_batch.hpp); 0 = LEAK_BLOCK env or the
+  /// (src/kernel/stake_batch.hpp); 0 = LEAK_BLOCK env or the
   /// tuned default.  Results are bit-identical for any value,
   /// including block = 1 and block = paths.
   std::size_t block = 0;
@@ -72,15 +72,11 @@ struct McResult {
 
 /// Run the Monte Carlo through the batched lockstep kernel;
 /// `snapshot_epochs` must be ascending and within [1, cfg.epochs].
+/// The scalar reference kernel lives in tests/oracles/ (oracle only;
+/// this batched path is bit-identical to it for every (block, threads)
+/// pair — the kernel-parity suite enforces it).
 McResult run_bouncing_mc(const McConfig& cfg,
                          const std::vector<std::size_t>& snapshot_epochs);
-
-/// Reference scalar kernel: one path at a time, exactly the paper's
-/// per-validator recurrence.  Always materializes the full matrix
-/// (cfg.block / cfg.keep_paths are ignored).  Kept as the ground truth
-/// the batched kernel is tested bit-identical against.
-McResult run_bouncing_mc_scalar(
-    const McConfig& cfg, const std::vector<std::size_t>& snapshot_epochs);
 
 /// Finite-population run: N honest validators per path, branch-level
 /// Byzantine proportion measured per epoch on branch A.  Returns the
@@ -113,10 +109,16 @@ struct PopulationEnsembleConfig {
   std::size_t paths = 100;
   unsigned threads = 0;       ///< 0 = LEAK_THREADS / hardware_concurrency
   std::size_t block = 0;      ///< paths per block; 0 = LEAK_BLOCK / default
+  /// When false, the per-path outcome slab is never materialized:
+  /// first_exceed_epochs stays empty and only the aggregate fractions
+  /// are filled via the runner's ordered reduction tree.  The
+  /// aggregates are bit-identical between the two modes.
+  bool keep_paths = true;
 };
 
 struct PopulationEnsembleResult {
   /// Per path: epoch when beta first exceeded 1/3 on branch A; -1 never.
+  /// Empty when cfg.keep_paths == false (summary mode).
   std::vector<std::int64_t> first_exceed_epochs;
   /// Fraction of paths whose beta ever exceeded 1/3.
   double exceed_fraction = 0.0;

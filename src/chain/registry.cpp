@@ -10,26 +10,6 @@ ValidatorRegistry::ValidatorRegistry(std::uint32_t n, Gwei initial)
   for (auto& r : records_) r.balance = initial;
 }
 
-ValidatorRecord& ValidatorRegistry::at(ValidatorIndex v) {
-  return records_.at(v.value());
-}
-
-const ValidatorRecord& ValidatorRegistry::at(ValidatorIndex v) const {
-  return records_.at(v.value());
-}
-
-bool ValidatorRegistry::is_active(ValidatorIndex v, Epoch e) const {
-  return !records_.at(v.value()).exited_by(e);
-}
-
-Gwei ValidatorRegistry::total_active_balance(Epoch e) const {
-  Gwei total{};
-  for (const auto& r : records_) {
-    if (!r.exited_by(e)) total += r.balance;
-  }
-  return total;
-}
-
 void ValidatorRegistry::eject(ValidatorIndex v, Epoch at) {
   auto& r = records_.at(v.value());
   if (r.exit_epoch == ValidatorRecord::kNeverExited) {

@@ -36,14 +36,31 @@ class ValidatorRegistry {
     return static_cast<std::uint32_t>(records_.size());
   }
 
-  [[nodiscard]] ValidatorRecord& at(ValidatorIndex v);
-  [[nodiscard]] const ValidatorRecord& at(ValidatorIndex v) const;
+  // at / is_active / total_active_balance are defined inline: the
+  // penalty engine and the partition kernel call them once per
+  // validator per epoch per branch, so an out-of-line call here was
+  // the dominant per-epoch cost (bounds checking is kept — it is the
+  // call overhead that matters, not the check).
+  [[nodiscard]] ValidatorRecord& at(ValidatorIndex v) {
+    return records_.at(v.value());
+  }
+  [[nodiscard]] const ValidatorRecord& at(ValidatorIndex v) const {
+    return records_.at(v.value());
+  }
 
   /// Is the validator in the active set at epoch e (not exited)?
-  [[nodiscard]] bool is_active(ValidatorIndex v, Epoch e) const;
+  [[nodiscard]] bool is_active(ValidatorIndex v, Epoch e) const {
+    return !records_.at(v.value()).exited_by(e);
+  }
 
   /// Total balance of validators active at epoch e.
-  [[nodiscard]] Gwei total_active_balance(Epoch e) const;
+  [[nodiscard]] Gwei total_active_balance(Epoch e) const {
+    Gwei total{};
+    for (const auto& r : records_) {
+      if (!r.exited_by(e)) total += r.balance;
+    }
+    return total;
+  }
 
   /// Sum of balances over an arbitrary predicate.
   template <typename Pred>

@@ -1,0 +1,64 @@
+// Compiled with the same vectorization-friendly flags as the batch
+// kernel (src/CMakeLists.txt); none of them change any computed value.
+// The draw pass and the stake sum stay serial on purpose: both consume
+// or accumulate in an order the bit-identity contract fixes.
+#include "src/kernel/cohort.hpp"
+
+#include <algorithm>
+
+namespace leak::kernel {
+
+void LeakCohort::reset(std::size_t n, const analytic::AnalyticConfig& model) {
+  stake_.assign(n, model.initial_stake);
+  score_.assign(n, 0.0);
+  ejected_.assign(n, 0);
+  uniform_.assign(n, 0.0);
+}
+
+void LeakCohort::draw(Rng& rng) {
+  const std::size_t n = stake_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ejected_[i] == 0) uniform_[i] = rng.uniform();
+  }
+}
+
+void LeakCohort::update(const analytic::AnalyticConfig& model, double p0) {
+  const double quotient = model.quotient;
+  const double decrement = model.score_active_decrement;
+  const double bias = model.score_bias;
+  const double threshold = model.ejection_threshold;
+  const std::size_t n = stake_.size();
+  double* __restrict stake = stake_.data();
+  double* __restrict score = score_.data();
+  const double* __restrict uniform = uniform_.data();
+  std::uint8_t* __restrict ejected = ejected_.data();
+
+  // Same op order as the scalar oracle for live lanes; ejected lanes
+  // ride along branch-free (stake frozen at exactly +0.0, dead score
+  // lane fed by a stale uniform — both unobservable).
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    stake[i] -= score[i] * stake[i] / quotient;
+    const double decremented = std::max(score[i] - decrement, 0.0);
+    const double incremented = score[i] + bias;
+    score[i] = uniform[i] < p0 ? decremented : incremented;
+    stake[i] = stake[i] <= threshold ? 0.0 : stake[i];
+  }
+  // Ejection <=> stake flushed to exactly 0 (live stake always stays
+  // above the positive threshold), so the flags regenerate from the
+  // stake lane alone.
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    ejected[i] = stake[i] == 0.0 ? 1 : 0;
+  }
+}
+
+double LeakCohort::stake_sum() const {
+  // Ascending index order, exactly the scalar oracle's accumulation
+  // (floating-point addition is order-sensitive; no reassociation).
+  double total = 0.0;
+  for (const double s : stake_) total += s;
+  return total;
+}
+
+}  // namespace leak::kernel

@@ -1,0 +1,30 @@
+// Vectorization-friendly pieces of the xoshiro256** draw shared by the
+// SoA kernels: a rotl that GCC folds to a single rotate, and the exact
+// u64 -> double conversion used to reproduce Rng::uniform's [0,1)
+// doubles inside an `omp simd` loop.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace leak::kernel {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// Exact u64 -> double conversion for v < 2^53, via the 2^52
+/// magic-number trick on 32-bit halves: unlike a plain cast, every op
+/// here has a vector form on plain SSE2/AVX2 (packed u64 -> double
+/// conversion needs AVX-512DQ).  Both halves and their recombination
+/// are exact, so the result is bit-identical to (double)v.
+inline double to_double_exact(std::uint64_t v) {
+  constexpr std::uint64_t kMagic = 0x4330000000000000ULL;  // 2^52 as bits
+  const std::uint64_t lo = v & 0xFFFFFFFFULL;
+  const std::uint64_t hi = v >> 32;
+  const double dlo = std::bit_cast<double>(kMagic | lo) - 0x1.0p52;
+  const double dhi = std::bit_cast<double>(kMagic | hi) - 0x1.0p52;
+  return dhi * 0x1.0p32 + dlo;
+}
+
+}  // namespace leak::kernel

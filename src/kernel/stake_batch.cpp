@@ -4,39 +4,19 @@
 // can creep in, and optionally -march=native.  None of these change
 // any computed value: every operation is still an IEEE double op in
 // the same order for every lane, which is what the bit-identity
-// tests against the scalar kernel enforce.
-#include "src/bouncing/montecarlo_batch.hpp"
+// tests against the scalar oracle enforce.
+#include "src/kernel/stake_batch.hpp"
 
 #include <algorithm>
-#include <bit>
 
-namespace leak::bouncing {
+#include "src/kernel/soa_rng.hpp"
 
-namespace {
+namespace leak::kernel {
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-/// Exact u64 -> double conversion for v < 2^53, via the 2^52
-/// magic-number trick on 32-bit halves: unlike a plain cast, every op
-/// here has a vector form on plain SSE2/AVX2 (packed u64 -> double
-/// conversion needs AVX-512DQ).  Both halves and their recombination
-/// are exact, so the result is bit-identical to (double)v.
-inline double to_double_exact(std::uint64_t v) {
-  constexpr std::uint64_t kMagic = 0x4330000000000000ULL;  // 2^52 as bits
-  const std::uint64_t lo = v & 0xFFFFFFFFULL;
-  const std::uint64_t hi = v >> 32;
-  const double dlo = std::bit_cast<double>(kMagic | lo) - 0x1.0p52;
-  const double dhi = std::bit_cast<double>(kMagic | hi) - 0x1.0p52;
-  return dhi * 0x1.0p32 + dlo;
-}
-
-}  // namespace
-
-void BatchPaths::reset(const McConfig& cfg, const StreamSeeder& seeder,
-                       std::size_t first_path, std::size_t n_paths) {
-  stake_.assign(n_paths, cfg.model.initial_stake);
+void BatchPaths::reset(const analytic::AnalyticConfig& model,
+                       const StreamSeeder& seeder, std::size_t first_path,
+                       std::size_t n_paths) {
+  stake_.assign(n_paths, model.initial_stake);
   score_.assign(n_paths, 0.0);
   ejected_.assign(n_paths, 0);
   uniform_.resize(n_paths);
@@ -55,12 +35,11 @@ void BatchPaths::reset(const McConfig& cfg, const StreamSeeder& seeder,
   }
 }
 
-void BatchPaths::step(const McConfig& cfg) {
-  const double quotient = cfg.model.quotient;
-  const double decrement = cfg.model.score_active_decrement;
-  const double bias = cfg.model.score_bias;
-  const double threshold = cfg.model.ejection_threshold;
-  const double p0 = cfg.p0;
+void BatchPaths::step(const analytic::AnalyticConfig& model, double p0) {
+  const double quotient = model.quotient;
+  const double decrement = model.score_active_decrement;
+  const double bias = model.score_bias;
+  const double threshold = model.ejection_threshold;
   const std::size_t n = stake_.size();
   double* __restrict stake = stake_.data();
   double* __restrict score = score_.data();
@@ -89,7 +68,7 @@ void BatchPaths::step(const McConfig& cfg) {
     uniform[i] = to_double_exact(draw >> 11) * 0x1.0p-53;
   }
 
-  // Update loop: same op order as the scalar kernel — Eq 2 penalty
+  // Update loop: same op order as the scalar oracle — Eq 2 penalty
   // with the previous score, Eq 1 floored score update as a select of
   // both candidates, ejection flush to exactly 0.0 as a select.  An
   // ejected path's stake is exactly 0.0, so the penalty and the flush
@@ -119,21 +98,22 @@ bool BatchPaths::all_ejected() const {
                      [](std::uint8_t e) { return e != 0; });
 }
 
-void simulate_stake_block(const McConfig& cfg,
+void simulate_stake_block(const analytic::AnalyticConfig& model, double p0,
+                          std::size_t epochs,
                           const std::vector<std::size_t>& snaps,
                           const StreamSeeder& seeder, std::size_t first_path,
                           std::size_t n_paths, BatchPaths& scratch,
                           double* const* rows, std::size_t out_offset) {
-  scratch.reset(cfg, seeder, first_path, n_paths);
+  scratch.reset(model, seeder, first_path, n_paths);
   std::size_t next_snap = 0;
-  for (std::size_t t = 1; t <= cfg.epochs && next_snap < snaps.size(); ++t) {
-    scratch.step(cfg);
+  for (std::size_t t = 1; t <= epochs && next_snap < snaps.size(); ++t) {
+    scratch.step(model, p0);
     if (t == snaps[next_snap]) {
       std::copy_n(scratch.stake().data(), n_paths,
                   rows[next_snap] + out_offset);
       ++next_snap;
       // Once the whole block is ejected every later snapshot is 0 —
-      // skip the remaining epochs (the scalar kernel records the same
+      // skip the remaining epochs (the scalar oracle records the same
       // zeros; this only shortcuts deterministically-dead work).
       if (next_snap < snaps.size()) {
         scratch.sync_ejected();
@@ -148,4 +128,4 @@ void simulate_stake_block(const McConfig& cfg,
   }
 }
 
-}  // namespace leak::bouncing
+}  // namespace leak::kernel

@@ -1,30 +1,30 @@
 // Batched, cache-friendly kernel for the Figure 8 bouncing-attack
-// stake dynamics: advances a block of B paths in lockstep over epochs
-// with structure-of-arrays state (contiguous stake[], score[],
-// ejected[] and four xoshiro256** lanes per path) and branchless
-// floored score updates, so the per-epoch work is straight-line
-// arithmetic over L1-resident arrays instead of one latency-bound
-// dependency chain per path.
+// stake dynamics: advances a block of B independent paths in lockstep
+// over epochs with structure-of-arrays state (contiguous stake[],
+// score[], ejected[] and four xoshiro256** lanes per path) and
+// branchless floored score updates, so the per-epoch work is
+// straight-line arithmetic over L1-resident arrays instead of one
+// latency-bound dependency chain per path.
 //
 // Bit-identity contract: path i always draws from the (seed, i)
 // counter stream (leak::StreamSeeder) and every floating-point
 // operation a *live* path performs is the same op in the same order as
-// the scalar kernel in montecarlo.cpp, so the recorded snapshots are
-// bit-identical to run_bouncing_mc_scalar for every (block, threads)
-// combination.  Ejected paths keep advancing their private RNG lane
-// and (frozen-at-zero) stake so the block stays branch-free; those
-// extra draws are unobservable — an ejected path's stake is exactly
-// 0.0 and never leaves it.
+// the scalar reference kernel (tests/oracles/scalar_oracles.cpp), so
+// the recorded snapshots are bit-identical to the oracle for every
+// (block, threads) combination.  Ejected paths keep advancing their
+// private RNG lane and (frozen-at-zero) stake so the block stays
+// branch-free; those extra draws are unobservable — an ejected path's
+// stake is exactly 0.0 and never leaves it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "src/bouncing/montecarlo.hpp"
+#include "src/analytic/config.hpp"
 #include "src/support/random.hpp"
 
-namespace leak::bouncing {
+namespace leak::kernel {
 
 /// Structure-of-arrays state for a block of lockstep paths.  One
 /// instance is reused across the blocks a worker claims; reset()
@@ -33,7 +33,7 @@ class BatchPaths {
  public:
   /// Seed paths [first_path, first_path + n_paths): stake at the
   /// initial stake, score 0, RNG lane i from stream first_path + i.
-  void reset(const McConfig& cfg, const StreamSeeder& seeder,
+  void reset(const analytic::AnalyticConfig& model, const StreamSeeder& seeder,
              std::size_t first_path, std::size_t n_paths);
 
   /// Advance every path one epoch of the Figure 8 dynamics (Eq 2
@@ -42,7 +42,7 @@ class BatchPaths {
   /// loop fills the uniform lane, then an update loop computes both
   /// score candidates and selects, so neither loop has a
   /// data-dependent branch and both auto-vectorize.
-  void step(const McConfig& cfg);
+  void step(const analytic::AnalyticConfig& model, double p0);
 
   /// Regenerate the ejected flags from the stake lane (stake frozen at
   /// exactly 0 <=> ejected).  Called at snapshot epochs only, keeping
@@ -68,18 +68,20 @@ class BatchPaths {
   std::vector<std::uint64_t> s0_, s1_, s2_, s3_;
 };
 
-/// Simulate paths [first_path, first_path + n_paths) and record their
-/// stake at each snapshot epoch: rows[k][out_offset + i] receives the
-/// stake of path first_path + i at snaps[k] (0.0 once ejected).  The
-/// caller passes out_offset = first_path to write straight into the
-/// full per-path matrix, or 0 to fill a block-local slab.  `snaps`
-/// must be valid per run_bouncing_mc's grid contract (the drivers
-/// validate before fanning out).  `scratch` is reset here; passing the
-/// same instance across calls reuses its allocations.
-void simulate_stake_block(const McConfig& cfg,
+/// Simulate paths [first_path, first_path + n_paths) for `epochs`
+/// epochs and record their stake at each snapshot epoch:
+/// rows[k][out_offset + i] receives the stake of path first_path + i
+/// at snaps[k] (0.0 once ejected).  The caller passes out_offset =
+/// first_path to write straight into the full per-path matrix, or 0 to
+/// fill a block-local slab.  `snaps` must be valid per
+/// run_bouncing_mc's grid contract (the drivers validate before
+/// fanning out).  `scratch` is reset here; passing the same instance
+/// across calls reuses its allocations.
+void simulate_stake_block(const analytic::AnalyticConfig& model, double p0,
+                          std::size_t epochs,
                           const std::vector<std::size_t>& snaps,
                           const StreamSeeder& seeder, std::size_t first_path,
                           std::size_t n_paths, BatchPaths& scratch,
                           double* const* rows, std::size_t out_offset);
 
-}  // namespace leak::bouncing
+}  // namespace leak::kernel

@@ -19,9 +19,11 @@ bool InactivityTracker::is_leaking(Epoch current, Epoch last_finalized) const {
          config_.min_epochs_to_inactivity_penalty;
 }
 
-EpochPenaltyReport InactivityTracker::process_epoch(
+template <bool kWithSums>
+EpochPenaltyReport InactivityTracker::process_epoch_impl(
     Epoch current, Epoch last_finalized,
-    const std::vector<std::uint8_t>& active) {
+    const std::vector<std::uint8_t>& active, std::uint32_t split,
+    BalanceSums* sums) {
   if (active.size() != registry_.size()) {
     throw std::invalid_argument("process_epoch: activity vector size");
   }
@@ -35,9 +37,12 @@ EpochPenaltyReport InactivityTracker::process_epoch(
     if (rec.exited_by(current)) continue;
 
     // Penalty uses the score and balance *before* this epoch's update
-    // (Eq 2 uses I(t-1) and s(t-1)).
-    if (report.leaking || (config_.inactivity_penalty_tracks_score &&
-                           rec.inactivity_score > 0)) {
+    // (Eq 2 uses I(t-1) and s(t-1)).  A zero score means a zero
+    // penalty, so the 128-bit multiply/divide is skipped for exactly
+    // the validators it would not change — recovered validators on a
+    // live branch pay nothing either way.
+    if (rec.inactivity_score > 0 &&
+        (report.leaking || config_.inactivity_penalty_tracks_score)) {
       const auto penalty_gwei = static_cast<std::uint64_t>(
           (static_cast<__uint128_t>(rec.balance.value()) *
            rec.inactivity_score) /
@@ -64,9 +69,20 @@ EpochPenaltyReport InactivityTracker::process_epoch(
     if (rec.balance <= config_.ejection_balance) {
       if (config_.use_churn_limit) {
         exit_queue_.request_exit(v);
+        // The queued exit lands below, after the sweep — which is why
+        // the fused overload rejects churn mode up front.
       } else {
         registry_.eject(v, current);
         report.ejected.push_back(v);
+        continue;  // exited_by(current) now holds: out of the sums
+      }
+    }
+    if constexpr (kWithSums) {
+      if (i < split) {
+        sums->prefix_total += rec.balance;
+        if (active[i] != 0) sums->prefix_active += rec.balance;
+      } else {
+        sums->suffix_total += rec.balance;
       }
     }
   }
@@ -77,6 +93,27 @@ EpochPenaltyReport InactivityTracker::process_epoch(
     }
   }
   return report;
+}
+
+EpochPenaltyReport InactivityTracker::process_epoch(
+    Epoch current, Epoch last_finalized,
+    const std::vector<std::uint8_t>& active) {
+  return process_epoch_impl<false>(current, last_finalized, active, 0,
+                                   nullptr);
+}
+
+EpochPenaltyReport InactivityTracker::process_epoch(
+    Epoch current, Epoch last_finalized,
+    const std::vector<std::uint8_t>& active, std::uint32_t split,
+    BalanceSums* sums) {
+  if (config_.use_churn_limit) {
+    throw std::logic_error(
+        "process_epoch: fused balance sums are incompatible with the "
+        "churn limit (queued exits land after the sweep)");
+  }
+  *sums = BalanceSums{};
+  return process_epoch_impl<true>(current, last_finalized, active, split,
+                                  sums);
 }
 
 }  // namespace leak::penalties

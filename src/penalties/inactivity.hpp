@@ -27,6 +27,18 @@ struct EpochPenaltyReport {
   std::vector<ValidatorIndex> ejected;
 };
 
+/// Post-update balance sums over a prefix/suffix split of the registry,
+/// produced in the same sweep that applies penalties (see the fused
+/// process_epoch overload).  "Prefix" is [0, split), "suffix" is
+/// [split, n); exited validators (including ones ejected this epoch)
+/// are excluded, exactly as a separate post-epoch sweep filtered on
+/// exited_by(current) would compute.
+struct BalanceSums {
+  Gwei prefix_total{};   ///< non-exited balance in [0, split)
+  Gwei prefix_active{};  ///< of that, the validators with active[i] != 0
+  Gwei suffix_total{};   ///< non-exited balance in [split, n)
+};
+
 /// Drives scores, penalties and ejections on one branch's registry view.
 class InactivityTracker {
  public:
@@ -45,6 +57,18 @@ class InactivityTracker {
   EpochPenaltyReport process_epoch(Epoch current, Epoch last_finalized,
                                    const std::vector<std::uint8_t>& active);
 
+  /// Fused variant: identical state updates, plus post-update balance
+  /// sums for `sums` accumulated in the same ascending-index sweep —
+  /// saving the caller a second pass over the registry.  Integer Gwei
+  /// sums in the same order make the result bit-identical to running
+  /// the plain overload followed by a filtered balance sweep.  Requires
+  /// use_churn_limit == false (throws std::logic_error otherwise):
+  /// queued exits land after the sweep, so in-sweep sums could not see
+  /// them.
+  EpochPenaltyReport process_epoch(Epoch current, Epoch last_finalized,
+                                   const std::vector<std::uint8_t>& active,
+                                   std::uint32_t split, BalanceSums* sums);
+
   [[nodiscard]] const SpecConfig& config() const { return config_; }
 
   /// Validators waiting in the exit queue (churn mode only).
@@ -53,6 +77,12 @@ class InactivityTracker {
   }
 
  private:
+  template <bool kWithSums>
+  EpochPenaltyReport process_epoch_impl(Epoch current, Epoch last_finalized,
+                                        const std::vector<std::uint8_t>& active,
+                                        std::uint32_t split,
+                                        BalanceSums* sums);
+
   chain::ValidatorRegistry& registry_;
   SpecConfig config_;
   ExitQueue exit_queue_;

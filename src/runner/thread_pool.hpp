@@ -24,7 +24,7 @@ namespace leak::runner {
 /// an explicit positive request wins; 0 means the LEAK_BLOCK
 /// environment variable when set, otherwise a tuned default sized so
 /// the batched Monte Carlo kernel's structure-of-arrays state stays
-/// inside L1 (see src/bouncing/montecarlo_batch.hpp).
+/// inside L1 (see src/kernel/stake_batch.hpp).
 [[nodiscard]] std::size_t resolve_block(std::size_t requested);
 
 class ThreadPool {

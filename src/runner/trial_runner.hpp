@@ -216,6 +216,29 @@ class TrialRunner {
     if (first_error) std::rethrow_exception(first_error);
   }
 
+  /// Ordered reduction tree over fixed-size blocks: sim(begin, end)
+  /// produces one partial per block concurrently, and the partials
+  /// fold into `acc` via acc.fold(begin, end, partial) strictly in
+  /// ascending block order — a left-deep tree whose merge order is a
+  /// function of (n_trials, block) alone, never of thread scheduling
+  /// or completion order.  This is what lets keep_paths=false summary
+  /// reductions scale past one thread while staying bit-identical to
+  /// the serial fold (and to full mode, when the accumulator is the
+  /// same code fed the same per-trial values in the same order).  A
+  /// worker holds at most one unfolded partial, so in-flight memory is
+  /// bounded by O(threads x sizeof(partial)).  Exceptions cancel
+  /// unclaimed blocks; the one from the lowest block rethrows.
+  template <typename Acc, typename SimFn>
+  [[nodiscard]] Acc run_reduce(std::size_t n_trials, std::size_t block,
+                               Acc acc, SimFn&& sim) const {
+    run_blocks(n_trials, block, sim,
+               [&acc](std::size_t begin, std::size_t end, auto&& partial) {
+                 acc.fold(begin, end,
+                          std::forward<decltype(partial)>(partial));
+               });
+    return acc;
+  }
+
  private:
   unsigned threads_;
 };

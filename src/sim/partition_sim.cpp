@@ -169,9 +169,14 @@ PartitionSimResult run_partition_core(
   Gwei recovery_total_start{};
 
   // Reused across every (epoch, branch) pair: each pass assigns every
-  // index, so hoisting the buffer out of the hot loop removes one
-  // allocation per simulated epoch per branch.
+  // index, so hoisting the buffers out of the hot loop removes one
+  // allocation per simulated epoch per branch.  class_active[c] is the
+  // activity of honest branch class c on the branch being processed —
+  // activity depends only on a validator's class, so the per-validator
+  // passes below become byte-table lookups instead of branchy
+  // re-derivations.
   std::vector<std::uint8_t> active(n, 0);
+  std::vector<std::uint8_t> class_active(k, 0);
 
   for (std::size_t t = 1; t <= cfg.max_epochs; ++t) {
     const Epoch epoch{t};
@@ -251,43 +256,60 @@ PartitionSimResult run_partition_core(
         }
       }
 
-      // Activity on branch b this epoch.
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (is_byz(i)) {
-          if (recovering) {
-            active[i] = true;  // the partition is over; everyone attests
-            continue;
-          }
-          switch (cfg.strategy) {
-            case Strategy::kNone:
-              active[i] = false;  // unreachable unless beta0 rounds to 0 byz
-              break;
-            case Strategy::kSlashable:
-              active[i] = true;
-              break;
-            case Strategy::kSemiActiveFinalize:
-            case Strategy::kSemiActiveOverthrow:
-              active[i] = (t % k == b);
-              break;
-          }
-        } else if (i < outage_cut) {
-          active[i] = false;  // scheduled outage: sits out everywhere
-        } else {
-          // Active on its own branch; healed and not-yet-opened
-          // classes attest on the canonical branch.
-          const std::uint8_t bi = branch_of_honest[i];
-          active[i] = bi == b ||
-                      (b == 0 && (healed[bi] != 0 || opened[bi] == 0));
+      // Activity on branch b this epoch, assigned per class: Byzantine
+      // validators occupy the index tail [n_honest, n) (never inside
+      // the outage prefix, which is capped at n_honest), honest
+      // validators look their branch class up in the table.
+      std::uint8_t byz_active = 0;
+      if (recovering) {
+        byz_active = 1;  // the partition is over; everyone attests
+      } else {
+        switch (cfg.strategy) {
+          case Strategy::kNone:
+            byz_active = 0;  // unreachable unless beta0 rounds to 0 byz
+            break;
+          case Strategy::kSlashable:
+            byz_active = 1;
+            break;
+          case Strategy::kSemiActiveFinalize:
+          case Strategy::kSemiActiveOverthrow:
+            byz_active = t % k == b ? 1 : 0;
+            break;
         }
       }
+      for (std::uint32_t c = 0; c < k; ++c) {
+        // A class is active on its own branch; healed and not-yet-
+        // opened classes attest on the canonical branch.
+        class_active[c] =
+            (c == b || (b == 0 && (healed[c] != 0 || opened[c] == 0))) ? 1
+                                                                       : 0;
+      }
+      for (std::uint32_t i = 0; i < n_honest; ++i) {
+        // Scheduled outage: the honest prefix sits out everywhere.
+        active[i] = i < outage_cut ? 0 : class_active[branch_of_honest[i]];
+      }
+      for (std::uint32_t i = n_honest; i < n; ++i) active[i] = byz_active;
 
-      // Penalties for this epoch.  During the partition nothing has
-      // finalized since genesis; once branch 0 finalizes, finality
-      // advances every epoch and the tracker leaves the leak.
+      // Penalties and branch metrics for this epoch.  During the
+      // partition nothing has finalized since genesis; once branch 0
+      // finalizes, finality advances every epoch and the tracker
+      // leaves the leak.  The metric stake sums ride the tracker's
+      // sweep (the fused process_epoch overload) instead of a second
+      // pass over the registry: active[i] for honest validators is
+      // exactly the outage-and-class condition the old metrics loop
+      // re-derived, so prefix_active IS the honest active side, the
+      // suffix total IS the Byzantine stake, and integer Gwei sums
+      // make the regrouped totals bit-identical.  Churn mode cannot
+      // fuse (queued exits land after the sweep) and takes the
+      // two-pass fallback.
       const Epoch last_finalized =
           recovering ? Epoch{t - 1} : Epoch{0};
+      const bool fused = !spec.use_churn_limit;
+      penalties::BalanceSums sums;
       const auto report =
-          tracker[b].process_epoch(epoch, last_finalized, active);
+          fused ? tracker[b].process_epoch(epoch, last_finalized, active,
+                                           n_honest, &sums)
+                : tracker[b].process_epoch(epoch, last_finalized, active);
       if (out.honest_ejection_epoch < 0) {
         for (const ValidatorIndex v : report.ejected) {
           if (!is_byz(v.value())) {
@@ -297,24 +319,30 @@ PartitionSimResult run_partition_core(
         }
       }
 
-      // Branch metrics: the ratio counts the stake classes per the
-      // paper's Eqs 5/8/10 — honest actives plus (strategy-dependent)
-      // the Byzantine stake, over all non-exited stake.
-      const Gwei total = reg.total_active_balance(epoch);
+      // The ratio counts the stake classes per the paper's Eqs 5/8/10:
+      // honest actives plus (strategy-dependent) the Byzantine stake,
+      // over all non-exited stake.
+      const bool byz_counts =
+          recovering || byzantine_counts_active(cfg.strategy);
+      Gwei total{};
       Gwei active_side{};
       Gwei byz_side{};
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const ValidatorIndex v{i};
-        if (!reg.is_active(v, epoch)) continue;
-        const Gwei bal = reg.at(v).balance;
-        if (is_byz(i)) {
-          byz_side += bal;
-          if (recovering || byzantine_counts_active(cfg.strategy)) {
-            active_side += bal;
-          }
-        } else if (i >= outage_cut) {
-          const std::uint8_t bi = branch_of_honest[i];
-          if (bi == b || (b == 0 && (healed[bi] != 0 || opened[bi] == 0))) {
+      if (fused) {
+        byz_side = sums.suffix_total;
+        total = sums.prefix_total + sums.suffix_total;
+        active_side = sums.prefix_active;
+        if (byz_counts) active_side += byz_side;
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const auto& rec = reg.at(ValidatorIndex{i});
+          if (rec.exited_by(epoch)) continue;
+          const Gwei bal = rec.balance;
+          total += bal;
+          if (is_byz(i)) {
+            byz_side += bal;
+            if (byz_counts) active_side += bal;
+          } else if (i >= outage_cut &&
+                     class_active[branch_of_honest[i]] != 0) {
             active_side += bal;
           }
         }
@@ -497,6 +525,66 @@ std::vector<std::uint8_t> deterministic_split(const PartitionSimConfig& cfg,
   return branch_of_honest;
 }
 
+/// The scalars of one trial that survive into the aggregates.
+struct TrialOutcome {
+  std::int64_t conflict_epoch = -1;
+  double beta_peak = 0.0;
+  std::uint8_t exceeded_both = 0;
+  double residual_loss_eth = 0.0;
+  std::int64_t recovery_epoch = -1;
+};
+
+TrialOutcome trial_outcome(const PartitionSimConfig& base, std::uint32_t n_byz,
+                           const std::vector<std::uint8_t>& branch_of_honest) {
+  const auto r = run_partition_core(base, n_byz, branch_of_honest);
+  TrialOutcome out;
+  out.conflict_epoch = r.conflicting_finalization_epoch;
+  for (const auto& br : r.branch) {
+    out.beta_peak = std::max(out.beta_peak, br.beta_peak);
+  }
+  out.exceeded_both = r.beta_exceeded_third_both ? 1 : 0;
+  out.residual_loss_eth = r.residual_loss_total_eth;
+  out.recovery_epoch = r.recovery_complete_epoch;
+  return out;
+}
+
+/// Draw trial `trial`'s honest branch assignment into `branch_of_honest`.
+void draw_split(const PartitionSimConfig& base, const StreamSeeder& seeder,
+                std::size_t trial, std::vector<std::uint8_t>* branch_of_honest) {
+  Rng rng = seeder.stream(trial);
+  const auto k = base.branches;
+  for (auto& b : *branch_of_honest) {
+    // Two branches keep the legacy bernoulli(p0) draw exactly;
+    // k > 2 assigns uniformly over the branches.
+    b = k == 2 ? (rng.bernoulli(base.p0) ? 0 : 1)
+               : static_cast<std::uint8_t>(rng.uniform_index(k));
+  }
+}
+
+/// Order-fed aggregate shared by the trials driver's full and summary
+/// modes: integer counts plus ascending-trial double sums, so both
+/// modes produce bit-identical fractions and means.
+struct PartitionTally {
+  std::size_t conflicting = 0;
+  std::size_t exceeded = 0;
+  std::size_t recovered = 0;
+  double conflict_epoch_sum = 0.0;
+  double residual_sum = 0.0;
+  double recovery_epoch_sum = 0.0;
+  void add(const TrialOutcome& out) {
+    if (out.conflict_epoch >= 0) {
+      ++conflicting;
+      conflict_epoch_sum += static_cast<double>(out.conflict_epoch);
+    }
+    if (out.exceeded_both != 0) ++exceeded;
+    residual_sum += out.residual_loss_eth;
+    if (out.recovery_epoch >= 0) {
+      ++recovered;
+      recovery_epoch_sum += static_cast<double>(out.recovery_epoch);
+    }
+  }
+};
+
 }  // namespace
 
 PartitionSimResult run_partition_sim(const PartitionSimConfig& cfg) {
@@ -513,75 +601,84 @@ PartitionTrialsResult run_partition_trials(const PartitionTrialsConfig& cfg) {
   }
   const auto n_byz = byzantine_count(cfg.base);
   const auto n_honest = cfg.base.n_validators - n_byz;
-  const auto k = cfg.base.branches;
 
-  // Block-scheduled fan-out straight into the result's preallocated
-  // slabs: only the scalars the trials aggregate survive a trial,
-  // never the full per-branch trajectories.  Trial i always draws
-  // from the (seed, i) stream and writes at its own index, so the
-  // result is bit-identical for every (block, threads) combination.
+  // Trial i always draws from the (seed, i) stream, so the result is
+  // bit-identical for every (block, threads) combination in either
+  // mode.
   const StreamSeeder seeder(cfg.seed);
   const runner::TrialRunner pool(cfg.threads);
+  const std::size_t block = runner::resolve_block(cfg.block);
   PartitionTrialsResult res;
   res.trials = cfg.trials;
-  res.conflict_epochs.assign(cfg.trials, -1);
-  res.beta_peaks.assign(cfg.trials, 0.0);
-  res.residual_losses_eth.assign(cfg.trials, 0.0);
-  res.recovery_epochs.assign(cfg.trials, -1);
-  std::vector<std::uint8_t> exceeded_both(cfg.trials, 0);
-  pool.run_blocks(
-      cfg.trials, runner::resolve_block(cfg.block),
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<std::uint8_t> branch_of_honest(n_honest);
-        for (std::size_t trial = begin; trial < end; ++trial) {
-          Rng rng = seeder.stream(trial);
-          for (std::uint32_t i = 0; i < n_honest; ++i) {
-            // Two branches keep the legacy bernoulli(p0) draw exactly;
-            // k > 2 assigns uniformly over the branches.
-            branch_of_honest[i] =
-                k == 2 ? (rng.bernoulli(cfg.base.p0) ? 0 : 1)
-                       : static_cast<std::uint8_t>(rng.uniform_index(k));
+  PartitionTally tally;
+  if (cfg.keep_trials) {
+    // Full mode: block-scheduled fan-out straight into the result's
+    // preallocated slabs (only the scalars the trials aggregate
+    // survive a trial, never the full per-branch trajectories), then
+    // aggregate in trial order.
+    res.conflict_epochs.assign(cfg.trials, -1);
+    res.beta_peaks.assign(cfg.trials, 0.0);
+    res.residual_losses_eth.assign(cfg.trials, 0.0);
+    res.recovery_epochs.assign(cfg.trials, -1);
+    std::vector<std::uint8_t> exceeded_both(cfg.trials, 0);
+    pool.run_blocks(
+        cfg.trials, block, [&](std::size_t begin, std::size_t end) {
+          std::vector<std::uint8_t> branch_of_honest(n_honest);
+          for (std::size_t trial = begin; trial < end; ++trial) {
+            draw_split(cfg.base, seeder, trial, &branch_of_honest);
+            const auto out = trial_outcome(cfg.base, n_byz, branch_of_honest);
+            res.conflict_epochs[trial] = out.conflict_epoch;
+            res.beta_peaks[trial] = out.beta_peak;
+            exceeded_both[trial] = out.exceeded_both;
+            res.residual_losses_eth[trial] = out.residual_loss_eth;
+            res.recovery_epochs[trial] = out.recovery_epoch;
           }
-          const auto r = run_partition_core(cfg.base, n_byz, branch_of_honest);
-          res.conflict_epochs[trial] = r.conflicting_finalization_epoch;
-          double peak = 0.0;
-          for (const auto& br : r.branch) peak = std::max(peak, br.beta_peak);
-          res.beta_peaks[trial] = peak;
-          exceeded_both[trial] = r.beta_exceeded_third_both ? 1 : 0;
-          res.residual_losses_eth[trial] = r.residual_loss_total_eth;
-          res.recovery_epochs[trial] = r.recovery_complete_epoch;
-        }
-      });
-
-  std::size_t conflicting = 0;
-  std::size_t exceeded = 0;
-  std::size_t recovered = 0;
-  double conflict_epoch_sum = 0.0;
-  double residual_sum = 0.0;
-  double recovery_epoch_sum = 0.0;
-  for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-    if (res.conflict_epochs[trial] >= 0) {
-      ++conflicting;
-      conflict_epoch_sum += static_cast<double>(res.conflict_epochs[trial]);
+        });
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      tally.add(TrialOutcome{res.conflict_epochs[trial],
+                             res.beta_peaks[trial], exceeded_both[trial],
+                             res.residual_losses_eth[trial],
+                             res.recovery_epochs[trial]});
     }
-    if (exceeded_both[trial] != 0) ++exceeded;
-    residual_sum += res.residual_losses_eth[trial];
-    if (res.recovery_epochs[trial] >= 0) {
-      ++recovered;
-      recovery_epoch_sum += static_cast<double>(res.recovery_epochs[trial]);
-    }
+  } else {
+    // Summary mode: per-block outcome slabs fold through the ordered
+    // reduction tree in ascending block order — the same add() calls
+    // in the same trial order as full mode, without the O(trials)
+    // slabs.
+    struct OutcomeFold {
+      PartitionTally* tally;
+      void fold(std::size_t, std::size_t,
+                std::vector<TrialOutcome>&& outcomes) const {
+        for (const auto& out : outcomes) tally->add(out);
+      }
+    };
+    (void)pool.run_reduce(
+        cfg.trials, block, OutcomeFold{&tally},
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<TrialOutcome> outcomes;
+          outcomes.reserve(end - begin);
+          std::vector<std::uint8_t> branch_of_honest(n_honest);
+          for (std::size_t trial = begin; trial < end; ++trial) {
+            draw_split(cfg.base, seeder, trial, &branch_of_honest);
+            outcomes.push_back(trial_outcome(cfg.base, n_byz, branch_of_honest));
+          }
+          return outcomes;
+        });
   }
+
   const double n = static_cast<double>(cfg.trials);
-  res.conflicting_fraction = static_cast<double>(conflicting) / n;
-  res.beta_exceeded_fraction = static_cast<double>(exceeded) / n;
+  res.conflicting_fraction = static_cast<double>(tally.conflicting) / n;
+  res.beta_exceeded_fraction = static_cast<double>(tally.exceeded) / n;
   res.mean_conflict_epoch =
-      conflicting > 0 ? conflict_epoch_sum / static_cast<double>(conflicting)
-                      : 0.0;
-  res.recovered_fraction = static_cast<double>(recovered) / n;
-  res.mean_residual_loss_eth = residual_sum / n;
+      tally.conflicting > 0
+          ? tally.conflict_epoch_sum / static_cast<double>(tally.conflicting)
+          : 0.0;
+  res.recovered_fraction = static_cast<double>(tally.recovered) / n;
+  res.mean_residual_loss_eth = tally.residual_sum / n;
   res.mean_recovery_epoch =
-      recovered > 0 ? recovery_epoch_sum / static_cast<double>(recovered)
-                    : 0.0;
+      tally.recovered > 0
+          ? tally.recovery_epoch_sum / static_cast<double>(tally.recovered)
+          : 0.0;
   return res;
 }
 

@@ -15,12 +15,12 @@
 
 #include "src/bouncing/attack_sim.hpp"
 #include "src/bouncing/montecarlo.hpp"
-#include "src/bouncing/montecarlo_batch.hpp"
 #include "src/runner/thread_pool.hpp"
 #include "src/runner/trial_runner.hpp"
 #include "src/scenario/registry.hpp"
 #include "src/sim/partition_sim.hpp"
 #include "src/support/env.hpp"
+#include "tests/oracles/scalar_oracles.hpp"
 
 namespace leak {
 namespace {
@@ -62,7 +62,7 @@ TEST(BatchBitIdentity, BouncingMcMatchesScalarForEveryBlockAndThreads) {
   cfg.seed = 41;
   cfg.threads = 1;
   const std::vector<std::size_t> snaps{17, 600, 1200};
-  const auto ref = bouncing::run_bouncing_mc_scalar(cfg, snaps);
+  const auto ref = oracle::run_bouncing_mc_scalar(cfg, snaps);
   ASSERT_EQ(ref.stakes.size(), snaps.size());
   for (const std::size_t block : block_grid(cfg.paths)) {
     for (const unsigned threads : kThreadGrid) {
@@ -138,7 +138,9 @@ TEST(BatchBitIdentity, AttackSimIdenticalForEveryBlockAndThreads) {
   cfg.seed = 77;
   cfg.threads = 1;
   cfg.block = 1;
-  const auto ref = bouncing::run_attack_sim(cfg);
+  // The scalar oracle is the fixed reference: the batched driver must
+  // reproduce it bit-for-bit at every (block, threads).
+  const auto ref = oracle::run_attack_sim_scalar(cfg);
   for (const std::size_t block : block_grid(cfg.runs)) {
     for (const unsigned threads : kThreadGrid) {
       cfg.block = block;
@@ -162,7 +164,7 @@ TEST(BatchBitIdentity, PopulationEnsembleIdenticalForEveryBlockAndThreads) {
   cfg.paths = env::scaled_count(12);
   cfg.threads = 1;
   cfg.block = 1;
-  const auto ref = bouncing::run_population_ensemble(cfg);
+  const auto ref = oracle::run_population_ensemble_scalar(cfg);
   for (const std::size_t block : block_grid(cfg.paths)) {
     for (const unsigned threads : kThreadGrid) {
       cfg.block = block;
@@ -186,7 +188,7 @@ TEST(BatchBitIdentity, PartitionTrialsIdenticalForEveryBlockAndThreads) {
   cfg.seed = 5;
   cfg.threads = 1;
   cfg.block = 1;
-  const auto ref = sim::run_partition_trials(cfg);
+  const auto ref = oracle::run_partition_trials_scalar(cfg);
   for (const std::size_t block : block_grid(cfg.trials)) {
     for (const unsigned threads : kThreadGrid) {
       cfg.block = block;
@@ -327,18 +329,33 @@ TEST(ResolveBlock, ExplicitWinsElseEnvElseDefault) {
   EXPECT_GE(runner::resolve_block(0), 1u);
 }
 
-// run_bouncing_mc_scalar ignores block/keep_paths: it is the fixed
+// The scalar oracle ignores block/keep_paths: it is the fixed
 // reference the batched kernel is measured against.
 TEST(ScalarReference, IgnoresBatchKnobs) {
   bouncing::McConfig cfg;
   cfg.paths = 50;
   cfg.epochs = 100;
-  const auto a = bouncing::run_bouncing_mc_scalar(cfg, {100});
+  const auto a = oracle::run_bouncing_mc_scalar(cfg, {100});
   cfg.block = 7;
   cfg.keep_paths = false;
-  const auto b = bouncing::run_bouncing_mc_scalar(cfg, {100});
+  const auto b = oracle::run_bouncing_mc_scalar(cfg, {100});
   EXPECT_EQ(a.stakes, b.stakes);
   EXPECT_FALSE(b.stakes.empty());
+}
+
+// Single-population run: the cohort kernel's serial draw pass consumes
+// the shared RNG stream in exactly the scalar order, so the whole
+// trajectory is bit-identical.
+TEST(BatchBitIdentity, PopulationRunMatchesScalarOracle) {
+  bouncing::PopulationRunConfig cfg;
+  cfg.honest_validators = 40;
+  cfg.epochs = 800;
+  cfg.beta0 = 1.0 / 3.0;
+  cfg.seed = 23;
+  const auto ref = oracle::run_population_bouncing_scalar(cfg);
+  const auto r = bouncing::run_population_bouncing(cfg);
+  EXPECT_EQ(r.first_exceed_epoch, ref.first_exceed_epoch);
+  EXPECT_EQ(r.beta_trajectory, ref.beta_trajectory);
 }
 
 }  // namespace

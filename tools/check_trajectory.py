@@ -16,13 +16,23 @@ tail (crash mid-append) invalidates only the last line.
 Usage:
   tools/check_trajectory.py append RESULTS_JSON [--label TEXT]
   tools/check_trajectory.py check  RESULTS_JSON [--max-regress 1.5]
+                                   [--only REGEX] [--binary NAME]
   tools/check_trajectory.py show
+
+`check --only REGEX` restricts the comparison to the benchmark keys
+matching REGEX (e.g. the four driver throughput benchmarks), so a
+targeted CI gate is not failed by unrelated noisy microbenchmarks.
+Keys are `binary::benchmark_name`; a raw --benchmark_out JSON from a
+single binary carries no "binary" field, so pass --binary NAME to
+supply it (run_benchmarks.sh injects the field when merging).
+
 Common flags: [--store bench/trajectory.jsonl]
 """
 
 import argparse
 import json
 import pathlib
+import re
 import sys
 import zlib
 
@@ -73,7 +83,7 @@ def scan(store):
     return records
 
 
-def snapshot(results_path, label):
+def snapshot(results_path, label, binary=None):
     """Distill BENCH_results.json into one trajectory record."""
     data = json.loads(pathlib.Path(results_path).read_text())
     benches = {}
@@ -83,7 +93,7 @@ def snapshot(results_path, label):
         unit = TIME_UNITS.get(b.get("time_unit", "ns"))
         if unit is None or "cpu_time" not in b:
             continue
-        key = f"{b.get('binary', '?')}::{b['name']}"
+        key = f"{b.get('binary', binary or '?')}::{b['name']}"
         benches[key] = round(b["cpu_time"] * unit, 3)
     if not benches:
         sys.exit(f"error: {results_path} contains no benchmark timings")
@@ -114,10 +124,14 @@ def cmd_check(args):
             "`tools/check_trajectory.py append BENCH_results.json`"
         )
     base = records[-1]["cpu_time_ns"]
-    fresh = snapshot(args.results, "check")["cpu_time_ns"]
+    fresh = snapshot(args.results, "check", args.binary)["cpu_time_ns"]
     shared = sorted(set(base) & set(fresh))
+    if args.only:
+        pattern = re.compile(args.only)
+        shared = [k for k in shared if pattern.search(k)]
     if not shared:
-        sys.exit("error: no benchmarks in common with the last record")
+        sys.exit("error: no benchmarks in common with the last record"
+                 + (f" matching --only {args.only!r}" if args.only else ""))
     regressions = []
     for key in shared:
         if base[key] > 0 and fresh[key] > base[key] * args.max_regress:
@@ -159,6 +173,15 @@ def main():
     p.add_argument(
         "--max-regress", type=float, default=1.5,
         help="fail when cpu time exceeds last record by this factor",
+    )
+    p.add_argument(
+        "--only", default=None,
+        help="restrict the comparison to keys matching this regex",
+    )
+    p.add_argument(
+        "--binary", default=None,
+        help="binary name for raw single-binary reports (keys are "
+             "binary::benchmark; merged reports carry the field already)",
     )
     p.set_defaults(func=cmd_check)
     p = sub.add_parser("show", help="list the recorded trajectory")

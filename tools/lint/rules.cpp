@@ -390,8 +390,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "writers and defeat SoA layouts; use std::vector<std::uint8_t>"},
       {"D4", Severity::kWarning,
        "std::unordered_map/std::unordered_set in a kernel/reduction TU "
-       "(src/bouncing, src/faults, src/runner, src/search, src/sim, "
-       "src/penalties): "
+       "(src/bouncing, src/faults, src/kernel, src/runner, src/search, "
+       "src/sim, src/penalties): "
        "iteration order would feed float accumulation; use an ordered "
        "container or justify that the site never iterates"},
       {"D5", Severity::kWarning,
@@ -413,8 +413,8 @@ FileClass classify(std::string_view rel_path) {
   FileClass cls;
   cls.in_src = rel_path.starts_with("src/");
   for (const std::string_view dir :
-       {"src/bouncing/", "src/faults/", "src/runner/", "src/search/",
-        "src/sim/", "src/penalties/"}) {
+       {"src/bouncing/", "src/faults/", "src/kernel/", "src/runner/",
+        "src/search/", "src/sim/", "src/penalties/"}) {
     if (rel_path.starts_with(dir)) cls.kernel_tu = true;
   }
   cls.entropy_allowed = rel_path.starts_with("src/support/version");
